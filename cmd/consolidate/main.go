@@ -1,0 +1,95 @@
+// Command consolidate demonstrates latency-aware traffic consolidation:
+// the Fig 2 scale-factor example, the Fig 9 aggregation policies, and the
+// greedy-vs-exact ablation.
+//
+// Usage:
+//
+//	consolidate [-demo] [-policies] [-ablation]
+//
+// With no flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"eprons/internal/experiments"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "run only the Fig 2 scale-factor demo")
+	policies := flag.Bool("policies", false, "run only the Fig 9 aggregation policies")
+	ablation := flag.Bool("ablation", false, "run only the greedy-vs-exact comparison")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+	all := !*demo && !*policies && !*ablation
+
+	if *demo || all {
+		rows, ft, results, err := experiments.Fig02ScaleDemo()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 2 — scale factor K moves latency-sensitive flows off the elephant path",
+			Headers: []string{"K", "active switches", "flows sharing elephant links", "feasible"},
+		}
+		for _, r := range rows {
+			t.AddRow(experiments.F(r.K), strconv.Itoa(r.ActiveSwitches),
+				strconv.Itoa(r.SharedWithBig), strconv.FormatBool(r.Feasible))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println("\npaths at K=3:")
+		for id, p := range results[3].Paths {
+			fmt.Printf("  flow %d: ", id)
+			for i, n := range p {
+				if i > 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Print(ft.Graph.Node(n).Name)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if *policies || all {
+		rows, err := experiments.Fig09Policies()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 9 — aggregation policies of the 4-ary fat-tree",
+			Headers: []string{"level", "switches on", "links on", "network power (W)", "connected"},
+		}
+		for _, r := range rows {
+			t.AddRow(strconv.Itoa(r.Level), strconv.Itoa(r.ActiveSwitches),
+				strconv.Itoa(r.ActiveLinks), experiments.W(r.NetworkPowerW),
+				strconv.FormatBool(r.Connected))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+
+	if *ablation || all {
+		rows, err := experiments.AblationHeuristicVsExact([]int{3, 5, 8}, 1, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Ablation — greedy heuristic vs exact MILP (eq. 2–9)",
+			Headers: []string{"flows", "greedy sw", "exact sw", "greedy", "exact"},
+		}
+		for _, r := range rows {
+			exact := strconv.Itoa(r.ExactSwitches)
+			if !r.ExactOptimal {
+				exact += " (node-limited)"
+			}
+			t.AddRow(strconv.Itoa(r.Flows), strconv.Itoa(r.GreedySwitches),
+				exact, r.GreedyDur.Round(time.Microsecond).String(), r.ExactDur.Round(time.Millisecond).String())
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+	}
+}

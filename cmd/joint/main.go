@@ -1,0 +1,83 @@
+// Command joint regenerates Fig 13: total system power vs request
+// tail-latency constraint for each aggregation policy, at low/medium/high
+// background traffic and 30% server utilization. It first trains the
+// server power table (the §IV-A parameterization), then evaluates the
+// joint model — like the paper, the system-level results are scaled
+// through models trained from simulation.
+//
+// Usage:
+//
+//	joint [-quick] [-bg 0.01,0.20,0.50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"eprons/internal/experiments"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small training grid (faster, coarser)")
+	bgArg := flag.String("bg", "0.01,0.20,0.50", "background utilizations (fractions)")
+	netScale := flag.Float64("netscale", 25, "network-latency calibration: 25 matches the paper's MiniNet magnitudes, 1 = clean simulator")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	bgs, err := parseFloats(*bgArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training EPRONS server power table…")
+	eprons, _, _, err := experiments.TrainTables(*quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	constraints := []float64{19e-3, 22e-3, 25e-3, 28e-3, 31e-3, 34e-3, 37e-3, 40e-3}
+	rows, err := experiments.Fig13JointPowerScaled(eprons, bgs, constraints, *netScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bg := range bgs {
+		t := &experiments.Table{
+			Title:   fmt.Sprintf("Fig 13 — total system power at %s background traffic (30%% server utilization)", experiments.Pct(bg)),
+			Headers: []string{"constraint(ms)", "agg 0", "agg 1", "agg 2", "agg 3"},
+		}
+		for _, c := range constraints {
+			cells := []string{experiments.Ms(c)}
+			for level := 0; level < 4; level++ {
+				cell := "—"
+				for _, r := range rows {
+					if r.BgUtil == bg && r.Level == level && r.ConstraintS == c {
+						if r.Feasible {
+							cell = experiments.W(r.TotalW)
+						} else {
+							cell = "infeasible"
+						}
+					}
+				}
+				cells = append(cells, cell)
+			}
+			t.AddRow(cells...)
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// Command knee regenerates Fig 1: the link-utilization vs network-latency
+// curve whose knee motivates latency-aware traffic consolidation.
+//
+// Usage:
+//
+//	knee [-duration 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"eprons/internal/experiments"
+)
+
+func main() {
+	duration := flag.Float64("duration", 5, "simulated seconds per utilization point")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	utils := []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.93, 0.95}
+	pts, err := experiments.Fig01Knee(utils, *duration, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &experiments.Table{
+		Title:   "Fig 1 — link utilization vs query network latency (single bottleneck)",
+		Headers: []string{"util", "mean(µs)", "p95(µs)", "p99(µs)"},
+	}
+	for _, p := range pts {
+		t.AddRow(experiments.Pct(p.Utilization), experiments.Us(p.MeanS),
+			experiments.Us(p.P95S), experiments.Us(p.P99S))
+	}
+	fmt.Print(experiments.Render(t, *csvOut))
+	fmt.Printf("\nknee: latency at %.0f%% util is %.1fx the latency at 20%%\n",
+		pts[len(pts)-1].Utilization*100, pts[len(pts)-1].MeanS/pts[2].MeanS)
+}

@@ -1,0 +1,125 @@
+// Command serversweep regenerates the server-side evaluation: Fig 12(a)
+// CPU power vs utilization per policy, Fig 12(b) CPU power vs tail-latency
+// constraint, Fig 12(c) the EPRONS-Server (utilization × constraint) grid,
+// and the Fig 4 violation-probability mechanism curves.
+//
+// Usage:
+//
+//	serversweep [-fig 12a|12b|12c|4|all] [-duration 30] [-cores 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+
+	"eprons/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure: 12a, 12b, 12c, 4, 5 or all")
+	duration := flag.Float64("duration", 30, "simulated seconds per point")
+	cores := flag.Int("cores", 12, "cores per server")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	cfg := experiments.DefaultServerExpConfig()
+	cfg.DurationS = *duration
+	cfg.Cores = *cores
+
+	if *fig == "12a" || *fig == "all" {
+		pts, err := experiments.Fig12aUtilizationSweep(
+			[]float64{0.10, 0.20, 0.30, 0.40, 0.50}, 30e-3, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 12(a) — CPU power vs server utilization (30 ms constraint: 25 server + 5 network)",
+			Headers: []string{"policy", "utilization", "CPU power (W)", "SLA miss", "mean freq (GHz)"},
+		}
+		for _, p := range pts {
+			t.AddRow(string(p.Policy), experiments.Pct(p.Util),
+				experiments.W(p.CPUPowerW), experiments.Pct(p.MissRate),
+				experiments.F(p.MeanFreqGHz))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+
+	if *fig == "12b" || *fig == "all" {
+		pts, err := experiments.Fig12bConstraintSweep(
+			[]float64{16e-3, 19e-3, 22e-3, 25e-3, 28e-3, 31e-3, 34e-3, 40e-3}, 0.30, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 12(b) — CPU power vs request tail-latency constraint (30% utilization)",
+			Headers: []string{"policy", "constraint(ms)", "CPU power (W)", "SLA miss", "mean freq (GHz)"},
+		}
+		for _, p := range pts {
+			t.AddRow(string(p.Policy), experiments.Ms(p.ConstraintS),
+				experiments.W(p.CPUPowerW), experiments.Pct(p.MissRate),
+				experiments.F(p.MeanFreqGHz))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+
+	if *fig == "12c" || *fig == "all" {
+		pts, err := experiments.Fig12cEPRONSGrid(
+			[]float64{0.10, 0.20, 0.30, 0.40, 0.50},
+			[]float64{16e-3, 20e-3, 25e-3, 30e-3, 40e-3}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 12(c) — EPRONS-Server CPU power across (utilization, constraint)",
+			Headers: []string{"utilization", "constraint(ms)", "CPU power (W)", "SLA miss"},
+		}
+		for _, p := range pts {
+			t.AddRow(experiments.Pct(p.Util), experiments.Ms(p.ConstraintS),
+				experiments.W(p.CPUPowerW), experiments.Pct(p.MissRate))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+
+	if *fig == "5" || *fig == "all" {
+		var omegas []float64
+		for w := 2e-3; w <= 36e-3; w += 2e-3 {
+			omegas = append(omegas, w)
+		}
+		pts, err := experiments.Fig05EquivalentCCDF(omegas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 5 — violation probability of equivalent requests vs work bound ω(D)",
+			Headers: []string{"ω(D) (ms)", "VP(R1e)", "VP(R2e)", "VP(R3e)"},
+		}
+		for _, p := range pts {
+			t.AddRow(experiments.Ms(p.OmegaS), experiments.Pct(p.VPR1e),
+				experiments.Pct(p.VPR2e), experiments.Pct(p.VPR3e))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println()
+	}
+
+	if *fig == "4" || *fig == "all" {
+		pts, fMax, fAvg, err := experiments.Fig04ViolationCurves(12e-3, 18e-3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &experiments.Table{
+			Title:   "Fig 4 — violation probability vs frequency (two queued requests)",
+			Headers: []string{"freq (GHz)", "VP(R1)", "VP(R2e)", "avg VP"},
+		}
+		for _, p := range pts {
+			t.AddRow(strconv.FormatFloat(p.FreqGHz, 'f', 1, 64),
+				experiments.Pct(p.VPR1), experiments.Pct(p.VPR2e), experiments.Pct(p.AvgVP))
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Printf("\nprior work (max VP ≤ 5%%) needs %.1f GHz; EPRONS (avg VP ≤ 5%%) runs at %.1f GHz\n", fMax, fAvg)
+	}
+}

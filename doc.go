@@ -1,0 +1,22 @@
+// Package eprons is a from-scratch Go reproduction of "Joint Server and
+// Network Energy Saving in Data Centers for Latency-Sensitive
+// Applications" (Zhou et al., IPDPS 2018): the EPRONS framework that
+// jointly minimizes data-center network and server power under
+// tail-latency SLAs.
+//
+// The repository layout:
+//
+//   - internal/core — the joint planner (scale-factor-K search) and full
+//     system runner (the paper's contribution);
+//   - internal/consolidate, lp, milp — latency-aware traffic consolidation
+//     (paper eq. 2–9) with an in-repo simplex/branch-and-bound solver;
+//   - internal/dvfs, server — EPRONS-Server and the Rubik/Rubik+/
+//     TimeTrader/MaxFreq baselines over a DVFS server simulator;
+//   - internal/netsim, fattree, topology — a packet-level fat-tree network
+//     simulator replacing the paper's MiniNet emulation;
+//   - internal/experiments — regenerates every figure of the evaluation;
+//     see bench_test.go and the cmd/ tools.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package eprons

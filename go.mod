@@ -1,0 +1,3 @@
+module eprons
+
+go 1.22

@@ -1,0 +1,425 @@
+// Package cluster simulates the paper's partition-aggregate web-search
+// application (§V-A): each user query arrives at an aggregator host, which
+// broadcasts sub-queries to every other host (the Index Serving Nodes);
+// each ISN processes its sub-query on a DVFS-managed server and returns a
+// reply; the query completes when the last reply reaches the aggregator.
+//
+// The per-request latency monitor of the EPRONS framework lives here: the
+// measured network latency of each sub-query request is turned into slack
+// ("we only use the request slack", §IV-C) and added to the sub-query's
+// compute deadline before it enters the server.
+package cluster
+
+import (
+	"fmt"
+
+	"eprons/internal/dist"
+	"eprons/internal/flow"
+	"eprons/internal/metrics"
+	"eprons/internal/netsim"
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/server"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+// Config parameterizes the search cluster.
+type Config struct {
+	// ServiceDist is the sub-query base service-time distribution at fmax.
+	ServiceDist *dist.Discrete
+	// Alpha is the frequency-dependent fraction of service time.
+	Alpha float64
+	// CoresPerServer (default 12).
+	CoresPerServer int
+	// ServerBudget is the compute portion of the SLA (paper: 25 ms).
+	ServerBudget float64
+	// NetworkBudget is the network portion (paper: 5 ms).
+	NetworkBudget float64
+	// RequestBudgetFrac is the share of NetworkBudget allotted to the
+	// request direction when computing slack (default 0.5).
+	RequestBudgetFrac float64
+	// UseSlack feeds measured network slack into sub-query deadlines
+	// (disable for slack-blind baselines; the policy still decides
+	// whether to look at SlackDeadline).
+	UseSlack bool
+	// FullBudgetSlack grants the ENTIRE network budget minus the request
+	// latency as slack — the "simplistic" accounting the paper criticizes
+	// in TimeTrader ("the lack of a queue build-up is treated
+	// simplistically by adding the full network latency budget to the
+	// compute slack", §I). EPRONS's conservative default reserves the
+	// reply direction's share.
+	FullBudgetSlack bool
+	// SubQueryBytes and ReplyBytes size the two message types
+	// (defaults 1500 and 6000).
+	SubQueryBytes int
+	ReplyBytes    int
+	// PolicyFactory builds the DVFS policy per (host, core).
+	PolicyFactory func(host, core int) server.Policy
+	// Seed drives aggregator choice.
+	Seed int64
+}
+
+// DefaultConfig fills the paper's values around a service distribution and
+// a policy factory.
+func DefaultConfig(d *dist.Discrete, factory func(host, core int) server.Policy) Config {
+	return Config{
+		ServiceDist:       d,
+		Alpha:             0.9,
+		CoresPerServer:    power.CoresPerServer,
+		ServerBudget:      25e-3,
+		NetworkBudget:     5e-3,
+		RequestBudgetFrac: 0.5,
+		UseSlack:          true,
+		SubQueryBytes:     1500,
+		ReplyBytes:        6000,
+		PolicyFactory:     factory,
+		Seed:              1,
+	}
+}
+
+func (c *Config) fill() error {
+	if c.ServiceDist == nil {
+		return fmt.Errorf("cluster: nil service distribution")
+	}
+	if c.PolicyFactory == nil {
+		return fmt.Errorf("cluster: nil policy factory")
+	}
+	if c.CoresPerServer <= 0 {
+		c.CoresPerServer = power.CoresPerServer
+	}
+	if c.RequestBudgetFrac <= 0 || c.RequestBudgetFrac > 1 {
+		c.RequestBudgetFrac = 0.5
+	}
+	if c.SubQueryBytes <= 0 {
+		c.SubQueryBytes = 1500
+	}
+	if c.ReplyBytes <= 0 {
+		c.ReplyBytes = 6000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Stats aggregates query-level results.
+type Stats struct {
+	Queries      int
+	QueryLatency metrics.Tracker // end-to-end (aggregate of 15 sub-queries)
+	SLAMisses    int             // end-to-end latency > ServerBudget+NetworkBudget
+	NetReqLat    metrics.Tracker // per-sub-query request network latency
+	NetReplyLat  metrics.Tracker // per-sub-query reply network latency
+	ServerLat    metrics.Tracker // per-sub-query server time (queue + service)
+	SlackGranted metrics.Tracker // per-sub-query slack handed to the server
+	DroppedSub   int
+}
+
+// BreakdownMeans returns the mean per-sub-query latency decomposition
+// (request network, server, reply network) — where each millisecond of a
+// query's life went.
+func (s *Stats) BreakdownMeans() (reqS, serverS, replyS float64) {
+	return s.NetReqLat.Mean(), s.ServerLat.Mean(), s.NetReplyLat.Mean()
+}
+
+// Cluster wires hosts, servers and the network.
+type Cluster struct {
+	Cfg      Config
+	eng      *sim.Engine
+	net      *netsim.Network
+	hosts    []topology.NodeID
+	srvs     []*server.Server
+	pendings []pendingMap
+	stats    Stats
+
+	agg    *rng.Stream
+	nextID int64
+}
+
+// New builds the cluster over an existing network. hosts are the
+// participating nodes (all of them act as both potential aggregator and
+// ISN, mirroring the 1-aggregator + 15-ISN setup per query).
+func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 hosts")
+	}
+	c := &Cluster{
+		Cfg:   cfg,
+		eng:   net.Engine(),
+		net:   net,
+		hosts: hosts,
+		agg:   rng.Derive(cfg.Seed, "aggregator"),
+	}
+	for i := range hosts {
+		i := i
+		srv, err := server.New(c.eng, server.Config{
+			Cores:   cfg.CoresPerServer,
+			Alpha:   cfg.Alpha,
+			FMaxGHz: power.FMaxGHz,
+			PolicyFactory: func(core int) server.Policy {
+				return cfg.PolicyFactory(i, core)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.srvs = append(c.srvs, srv)
+		c.pendings = append(c.pendings, nil)
+	}
+	return c, nil
+}
+
+// FlowID maps an ordered host-index pair to a stable flow identifier used
+// for routing and consolidation. Pair flows exist in both directions.
+func (c *Cluster) FlowID(srcIdx, dstIdx int) flow.ID {
+	return flow.ID(srcIdx*len(c.hosts) + dstIdx)
+}
+
+// PairFlows returns one latency-sensitive flow per ordered host pair with
+// the given aggregate demand estimate per flow — the input the
+// consolidator sees for query traffic. IDs match FlowID.
+func (c *Cluster) PairFlows(demandBps float64) []flow.Flow {
+	var out []flow.Flow
+	for i := range c.hosts {
+		for j := range c.hosts {
+			if i == j {
+				continue
+			}
+			out = append(out, flow.Flow{
+				ID:        c.FlowID(i, j),
+				Src:       c.hosts[i],
+				Dst:       c.hosts[j],
+				DemandBps: demandBps,
+				Class:     flow.LatencySensitive,
+			})
+		}
+	}
+	return out
+}
+
+// QueryDemandBps estimates the per-pair demand created by a query rate:
+// each query sends one sub-query i→j and one reply j→i for every pair in
+// which i is the aggregator (probability 1/len(hosts)).
+func (c *Cluster) QueryDemandBps(queriesPerSec float64) float64 {
+	perPair := queriesPerSec / float64(len(c.hosts))
+	return perPair * float64(c.Cfg.SubQueryBytes+c.Cfg.ReplyBytes) * 8
+}
+
+// InstallShortestRoutes installs shortest active paths for every ordered
+// host pair over the given active set (used when running under a fixed
+// aggregation policy rather than a consolidation result).
+func (c *Cluster) InstallShortestRoutes(active *topology.ActiveSet) error {
+	for i := range c.hosts {
+		for j := range c.hosts {
+			if i == j {
+				continue
+			}
+			p := active.ShortestActivePath(c.hosts[i], c.hosts[j])
+			if p == nil {
+				return fmt.Errorf("cluster: no active path %d→%d", i, j)
+			}
+			if err := c.net.SetRoute(c.FlowID(i, j), p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Servers exposes the per-host servers (for stats).
+func (c *Cluster) Servers() []*server.Server { return c.srvs }
+
+// Stats returns aggregate query statistics.
+func (c *Cluster) Stats() *Stats { return &c.stats }
+
+// SubmitQuery runs one partition-aggregate query starting now: a random
+// aggregator broadcasts to every other host; sampler provides each
+// sub-query's base service time.
+func (c *Cluster) SubmitQuery(sampler func() float64) {
+	aggIdx := c.agg.Intn(len(c.hosts))
+	start := c.eng.Now()
+	total := len(c.hosts) - 1
+	replies := 0
+	reqBudget := c.Cfg.NetworkBudget * c.Cfg.RequestBudgetFrac
+	if c.Cfg.FullBudgetSlack {
+		reqBudget = c.Cfg.NetworkBudget
+	}
+
+	finishOne := func() {
+		replies++
+		if replies == total {
+			lat := c.eng.Now() - start
+			c.stats.Queries++
+			c.stats.QueryLatency.Add(lat)
+			if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
+				c.stats.SLAMisses++
+			}
+		}
+	}
+
+	for isn := range c.hosts {
+		if isn == aggIdx {
+			continue
+		}
+		isn := isn
+		base := sampler()
+		c.net.SendMessage(c.FlowID(aggIdx, isn), c.Cfg.SubQueryBytes, func(netLat float64) {
+			now := c.eng.Now()
+			c.stats.NetReqLat.Add(netLat)
+			slack := 0.0
+			if c.Cfg.UseSlack {
+				slack = reqBudget - netLat
+				if slack < 0 {
+					slack = 0
+				}
+			}
+			c.stats.SlackGranted.Add(slack)
+			c.nextID++
+			id := c.nextID
+			req := &server.Request{
+				ID:             id,
+				Arrival:        now,
+				BaseServiceS:   base,
+				ServerDeadline: now + c.Cfg.ServerBudget,
+				SlackDeadline:  now + c.Cfg.ServerBudget + slack,
+			}
+			c.enqueueWithReply(isn, aggIdx, req, finishOne)
+		}, func() {
+			c.stats.DroppedSub++
+		})
+	}
+}
+
+// pending tracks reply callbacks per request ID for each ISN server.
+type pendingMap map[int64]func()
+
+// enqueueWithReply registers the reply send on completion of this request.
+func (c *Cluster) enqueueWithReply(isn, aggIdx int, req *server.Request, done func()) {
+	srv := c.srvs[isn]
+	if srv.OnComplete == nil {
+		pend := pendingMap{}
+		c.pendings[isn] = pend
+		srv.OnComplete = func(r *server.Request, finish float64) {
+			if cb, ok := pend[r.ID]; ok {
+				delete(pend, r.ID)
+				cb()
+			}
+		}
+	}
+	arrival := req.Arrival
+	c.pendings[isn][req.ID] = func() {
+		c.stats.ServerLat.Add(c.eng.Now() - arrival)
+		c.net.SendMessage(c.FlowID(isn, aggIdx), c.Cfg.ReplyBytes, func(replyLat float64) {
+			c.stats.NetReplyLat.Add(replyLat)
+			done()
+		}, func() {
+			c.stats.DroppedSub++
+		})
+	}
+	srv.Enqueue(req)
+}
+
+// StartPoisson launches an open-loop Poisson query stream whose rate is
+// polled before each arrival (rate in queries/sec; 0 pauses). It runs until
+// the engine stops or until the returned stop function is called.
+func (c *Cluster) StartPoisson(rate func() float64, sampler func() float64, seed int64) func() {
+	stream := rng.Derive(seed, "query-arrivals")
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		r := rate()
+		if r <= 0 {
+			c.eng.After(100e-3, tick)
+			return
+		}
+		c.eng.After(stream.Exp(1/r), func() {
+			if stopped {
+				return
+			}
+			c.SubmitQuery(sampler)
+			tick()
+		})
+	}
+	tick()
+	return func() { stopped = true }
+}
+
+// CPUEnergyJ sums CPU energy across servers up to time t.
+func (c *Cluster) CPUEnergyJ(t float64) float64 {
+	s := 0.0
+	for _, srv := range c.srvs {
+		s += srv.CPUEnergyJ(t)
+	}
+	return s
+}
+
+// CPUPowerW sums average CPU power across servers over [t0,t]; t0 must be
+// 0 (see server.CPUPowerW). For warmup exclusion capture CPUEnergyJ at the
+// boundary and use CPUPowerWSince.
+func (c *Cluster) CPUPowerW(t0, t float64) float64 {
+	s := 0.0
+	for _, srv := range c.srvs {
+		s += srv.CPUPowerW(t0, t)
+	}
+	return s
+}
+
+// CPUPowerWSince returns average CPU power over [t0,t] given e0 =
+// CPUEnergyJ(t0) captured when the clock read t0.
+func (c *Cluster) CPUPowerWSince(e0, t0, t float64) float64 {
+	if t <= t0 {
+		return 0
+	}
+	return (c.CPUEnergyJ(t) - e0) / (t - t0)
+}
+
+// ServerPowerW adds static per-server power to the CPU total.
+func (c *Cluster) ServerPowerW(t0, t float64) float64 {
+	return c.CPUPowerW(t0, t) + float64(len(c.srvs))*power.ServerStaticW
+}
+
+// MissRate returns the end-to-end (query-level) SLA miss fraction. Note
+// that a query aggregates 15 parallel sub-queries, so its tail amplifies
+// the per-request tail (tail-at-scale); the paper's §III SLA is the
+// per-request one, reported by RequestMissRate.
+func (s *Stats) MissRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.SLAMisses) / float64(s.Queries)
+}
+
+// RequestMissRate aggregates the per-sub-query slack-deadline miss rate
+// across all ISN servers — the 95th-percentile SLA the DVFS policies
+// guarantee (target miss budget 5%).
+func (c *Cluster) RequestMissRate() float64 {
+	completed, misses := 0, 0
+	for _, srv := range c.srvs {
+		st := srv.Stats()
+		completed += st.Completed
+		misses += st.SlackMisses
+	}
+	if completed == 0 {
+		return 0
+	}
+	return float64(misses) / float64(completed)
+}
+
+// RequestP95 returns the 95th-percentile per-sub-query server latency
+// pooled across ISNs (approximated by the max of per-server p95s to avoid
+// merging trackers).
+func (c *Cluster) RequestP95() float64 {
+	worst := 0.0
+	for _, srv := range c.srvs {
+		if q := srv.Stats().ServerLatency.Quantile(0.95); q > worst {
+			worst = q
+		}
+	}
+	return worst
+}

@@ -1,0 +1,561 @@
+// Package consolidate implements latency-aware traffic consolidation
+// (paper §II and §IV-B): choose per-flow paths and the minimal set of
+// active switches and links such that every flow fits, where
+// latency-sensitive flows reserve K times their measured demand to keep the
+// links they traverse lightly utilized.
+//
+// Two solvers are provided, mirroring the paper:
+//
+//   - Exact builds the optimization model (eq. 2–9) in its path-based form
+//     and solves it with the in-repo branch-and-bound MILP solver (the
+//     paper uses CPLEX). Exact is used for small instances and as the
+//     quality reference.
+//   - Greedy is the deployment path: a first-fit-decreasing bin-packing
+//     heuristic in the spirit of ElasticTree's greedy algorithm, which the
+//     paper adopts because exact solving "can be more than 42 min" at scale.
+package consolidate
+
+import (
+	"fmt"
+	"sort"
+
+	"eprons/internal/flow"
+	"eprons/internal/lp"
+	"eprons/internal/milp"
+	"eprons/internal/topology"
+)
+
+// Fabric is the topology abstraction the consolidators work over: a graph
+// plus equal-cost candidate-path enumeration between hosts. The paper's
+// model "is independent of the network topology" (§IV-B); fat-tree and
+// leaf-spine both implement this interface.
+type Fabric interface {
+	// Topo returns the graph (nodes, links, capacities, power).
+	Topo() *topology.Graph
+	// Paths enumerates candidate paths between two distinct hosts.
+	Paths(src, dst topology.NodeID) []topology.Path
+}
+
+// Config parameterizes one consolidation round.
+type Config struct {
+	// ScaleK is the bandwidth scale factor applied to latency-sensitive
+	// flows (paper: K in [1, Kmax]). 0 is treated as 1.
+	ScaleK float64
+	// SafetyMarginBps is subtracted from every link capacity to absorb
+	// prediction error (paper: 50 Mbps on 1 Gbps links).
+	SafetyMarginBps float64
+	// ScaleBackground also applies K to background flows, matching a
+	// literal reading of eq. (5). The paper's examples (Fig 2) scale only
+	// the latency-sensitive flows, which is the default.
+	ScaleBackground bool
+	// Restrict, when non-nil, limits placement to elements active in the
+	// given set (used to consolidate within a fixed aggregation policy).
+	Restrict *topology.ActiveSet
+	// BackupPaths additionally powers the elements of one alternate path
+	// per latency-sensitive flow without reserving bandwidth on it — the
+	// "backup paths" of §IV-B that mask the measured 72.5 s switch
+	// power-on delay during re-routing. It costs switch power and is off
+	// by default.
+	BackupPaths bool
+}
+
+// effective returns the reserved bandwidth for a flow under cfg.
+func (cfg Config) effective(f flow.Flow) float64 {
+	k := cfg.ScaleK
+	if k < 1 {
+		k = 1
+	}
+	if f.Class == flow.LatencySensitive || cfg.ScaleBackground {
+		return k * f.DemandBps
+	}
+	return f.DemandBps
+}
+
+// Result is a consolidation outcome.
+type Result struct {
+	// Feasible is false if some flow could not be placed; Unplaced lists
+	// the offenders.
+	Feasible bool
+	Unplaced []flow.ID
+	// Paths maps each placed flow to its path.
+	Paths map[flow.ID]topology.Path
+	// Active is the powered subnet implied by the paths.
+	Active *topology.ActiveSet
+	// ReservedBps is the reserved (scaled) bandwidth per DIRECTED link,
+	// keyed by topology.Link.DirIndex — links are full duplex and the
+	// model's flow variables are per direction (eq. 4).
+	ReservedBps map[int]float64
+	// ActualBps is the unscaled measured demand per directed link;
+	// utilization for latency models uses this, since the K-scaling only
+	// reserves headroom and does not add traffic.
+	ActualBps map[int]float64
+	// NetworkPowerW is the power of the active subnet.
+	NetworkPowerW float64
+	// Optimal is set by Exact when branch and bound proved optimality
+	// (false for Greedy/Balance results and node-limited MILP runs).
+	Optimal bool
+}
+
+// Utilization returns actual utilization (0..1+) of a directed link.
+func (r *Result) Utilization(g *topology.Graph, dir int) float64 {
+	return r.ActualBps[dir] / g.Link(topology.LinkID(dir/2)).CapacityBps
+}
+
+// PathUtilizations returns the actual utilization of each directed link
+// along a placed flow's path, or nil if the flow is unplaced.
+func (r *Result) PathUtilizations(g *topology.Graph, id flow.ID) []float64 {
+	p, ok := r.Paths[id]
+	if !ok {
+		return nil
+	}
+	out := []float64{}
+	for _, d := range p.DirLinks(g) {
+		out = append(out, r.Utilization(g, d))
+	}
+	return out
+}
+
+// Greedy places flows with first-fit-decreasing bin packing. Flows are
+// sorted by descending reserved bandwidth; each is assigned the candidate
+// path that (a) has room on every link and (b) activates the fewest new
+// switches, breaking ties toward the "leftmost" (lowest-ID) path so traffic
+// piles into one corner of the topology and the rest can sleep.
+func Greedy(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	g := ft.Topo()
+	res := &Result{
+		Feasible:    true,
+		Paths:       make(map[flow.ID]topology.Path),
+		Active:      topology.NewEmptyActiveSet(g),
+		ReservedBps: make(map[int]float64),
+		ActualBps:   make(map[int]float64),
+	}
+
+	order := make([]flow.Flow, len(flows))
+	copy(order, flows)
+	sort.SliceStable(order, func(i, j int) bool {
+		return cfg.effective(order[i]) > cfg.effective(order[j])
+	})
+
+	for _, f := range order {
+		paths := ft.Paths(f.Src, f.Dst)
+		if len(paths) == 0 {
+			res.Feasible = false
+			res.Unplaced = append(res.Unplaced, f.ID)
+			continue
+		}
+		eff := cfg.effective(f)
+		bestIdx, bestNew := -1, 1<<30
+		for idx, p := range paths {
+			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
+				continue
+			}
+			if !fits(g, res, p, eff, cfg.SafetyMarginBps) {
+				continue
+			}
+			newSw := newSwitches(g, res.Active, p)
+			if newSw < bestNew {
+				bestNew = newSw
+				bestIdx = idx
+			}
+		}
+		if bestIdx < 0 {
+			res.Feasible = false
+			res.Unplaced = append(res.Unplaced, f.ID)
+			continue
+		}
+		commit(g, res, f, paths[bestIdx], eff)
+	}
+	if cfg.BackupPaths {
+		activateBackups(ft, flows, cfg, res)
+	}
+	res.NetworkPowerW = res.Active.NetworkPowerW()
+	return res, nil
+}
+
+// activateBackups powers one alternate (maximally node-disjoint) path per
+// latency-sensitive flow. Backups carry no reservation; they exist so a
+// re-route never waits on a switch boot.
+func activateBackups(ft Fabric, flows []flow.Flow, cfg Config, res *Result) {
+	g := ft.Topo()
+	for _, f := range flows {
+		if f.Class != flow.LatencySensitive {
+			continue
+		}
+		primary, ok := res.Paths[f.ID]
+		if !ok {
+			continue
+		}
+		onPrimary := map[topology.NodeID]bool{}
+		for _, n := range primary {
+			onPrimary[n] = true
+		}
+		var best topology.Path
+		bestOverlap := 1 << 30
+		for _, p := range ft.Paths(f.Src, f.Dst) {
+			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
+				continue
+			}
+			overlap := 0
+			same := true
+			for _, n := range p {
+				if onPrimary[n] {
+					overlap++
+				} else {
+					same = false
+				}
+			}
+			if same {
+				continue
+			}
+			if overlap < bestOverlap {
+				bestOverlap = overlap
+				best = p
+			}
+		}
+		for _, lid := range best.Links(g) {
+			res.Active.SetLink(lid, true)
+		}
+	}
+}
+
+func fits(g *topology.Graph, res *Result, p topology.Path, eff, margin float64) bool {
+	for _, d := range p.DirLinks(g) {
+		cap := g.Link(topology.LinkID(d/2)).CapacityBps - margin
+		if res.ReservedBps[d]+eff > cap {
+			return false
+		}
+	}
+	return true
+}
+
+func newSwitches(g *topology.Graph, active *topology.ActiveSet, p topology.Path) int {
+	n := 0
+	for _, node := range p {
+		if g.Node(node).Kind.IsSwitch() && !active.NodeOn(node) {
+			n++
+		}
+	}
+	return n
+}
+
+func commit(g *topology.Graph, res *Result, f flow.Flow, p topology.Path, eff float64) {
+	res.Paths[f.ID] = p
+	links := p.Links(g)
+	dirs := p.DirLinks(g)
+	for i, lid := range links {
+		res.ReservedBps[dirs[i]] += eff
+		res.ActualBps[dirs[i]] += f.DemandBps
+		res.Active.SetLink(lid, true)
+	}
+}
+
+// Balance places flows like an ECMP load balancer instead of a
+// consolidator: each flow takes the candidate path minimizing the maximum
+// post-placement link utilization (ties toward lower total reservation).
+// Experiments use it to route traffic within a FIXED aggregation policy
+// (Fig 10/11), where the active subnet is chosen by policy and routing
+// should spread load rather than empty switches.
+func Balance(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	g := ft.Topo()
+	res := &Result{
+		Feasible:    true,
+		Paths:       make(map[flow.ID]topology.Path),
+		Active:      topology.NewEmptyActiveSet(g),
+		ReservedBps: make(map[int]float64),
+		ActualBps:   make(map[int]float64),
+	}
+	order := make([]flow.Flow, len(flows))
+	copy(order, flows)
+	sort.SliceStable(order, func(i, j int) bool {
+		return cfg.effective(order[i]) > cfg.effective(order[j])
+	})
+	for _, f := range order {
+		eff := cfg.effective(f)
+		bestIdx := -1
+		bestMax, bestSum := 0.0, 0.0
+		for idx, p := range ft.Paths(f.Src, f.Dst) {
+			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
+				continue
+			}
+			if !fits(g, res, p, eff, cfg.SafetyMarginBps) {
+				continue
+			}
+			maxU, sum := 0.0, 0.0
+			for _, d := range p.DirLinks(g) {
+				u := (res.ReservedBps[d] + eff) / g.Link(topology.LinkID(d/2)).CapacityBps
+				if u > maxU {
+					maxU = u
+				}
+				sum += res.ReservedBps[d]
+			}
+			if bestIdx < 0 || maxU < bestMax-1e-12 || (maxU < bestMax+1e-12 && sum < bestSum) {
+				bestIdx, bestMax, bestSum = idx, maxU, sum
+			}
+		}
+		if bestIdx < 0 {
+			res.Feasible = false
+			res.Unplaced = append(res.Unplaced, f.ID)
+			continue
+		}
+		commit(g, res, f, ft.Paths(f.Src, f.Dst)[bestIdx], eff)
+	}
+	res.NetworkPowerW = res.Active.NetworkPowerW()
+	return res, nil
+}
+
+// Exact solves the consolidation MILP. Variable layout:
+//
+//	z[i][p] — flow i routed on its p-th candidate path (binary, eq. 9's
+//	          no-splitting rule is implied by choosing one path)
+//	x[l]    — link l active (binary, eq. 4's capacity coupling)
+//	y[s]    — switch s active (binary, eq. 7/8's switch coupling)
+//
+// minimizing Σ x_l·l(u,v) + Σ y_s·s(u) (eq. 2's network terms; the server
+// term N·Pserver is a constant at this layer and added by the joint
+// planner).
+func Exact(ft Fabric, flows []flow.Flow, cfg Config, opt milp.Options) (*Result, error) {
+	prob, binaries, layout, err := buildExactModel(ft, flows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if prob == nil {
+		return &Result{Feasible: false, Unplaced: layout.unplaced}, nil
+	}
+	g := ft.Topo()
+	cand := layout.cand
+	zBase := layout.zBase
+
+	sol := milp.Solve(&milp.Problem{LP: prob, Binary: binaries}, opt)
+	if sol.Status == milp.Infeasible || sol.Status == milp.Unbounded || sol.X == nil {
+		return &Result{Feasible: false}, nil
+	}
+	optimal := sol.Status == milp.Optimal
+
+	res := &Result{
+		Feasible:    true,
+		Paths:       make(map[flow.ID]topology.Path),
+		Active:      topology.NewEmptyActiveSet(g),
+		ReservedBps: make(map[int]float64),
+		ActualBps:   make(map[int]float64),
+	}
+	for i, f := range flows {
+		chosen := -1
+		for p := range cand[i] {
+			if sol.X[zBase[i]+p] > 0.5 {
+				chosen = p
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("consolidate: MILP returned no path for flow %d", f.ID)
+		}
+		commit(g, res, f, cand[i][chosen], cfg.effective(f))
+	}
+	res.NetworkPowerW = res.Active.NetworkPowerW()
+	res.Optimal = optimal
+	return res, nil
+}
+
+// exactLayout records the variable layout of the MILP built by
+// buildExactModel (exposed to tests that probe the relaxation).
+type exactLayout struct {
+	cand     [][]topology.Path
+	zBase    []int
+	links    []topology.LinkID
+	switches []topology.NodeID
+	xBase    int
+	yBase    int
+	unplaced []flow.ID
+}
+
+// buildExactModel constructs the path-based MILP of eq. (2)–(9). A nil
+// problem with layout.unplaced set means some flow had no candidate path.
+func buildExactModel(ft Fabric, flows []flow.Flow, cfg Config) (*lp.Problem, []int, *exactLayout, error) {
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	g := ft.Topo()
+
+	// Candidate paths per flow, filtered by Restrict.
+	cand := make([][]topology.Path, len(flows))
+	for i, f := range flows {
+		for _, p := range ft.Paths(f.Src, f.Dst) {
+			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
+				continue
+			}
+			cand[i] = append(cand[i], p)
+		}
+		if len(cand[i]) == 0 {
+			return nil, nil, &exactLayout{unplaced: []flow.ID{f.ID}}, nil
+		}
+	}
+
+	// Collect the links and switches reachable by any candidate path.
+	linkIdx := map[topology.LinkID]int{}
+	switchIdx := map[topology.NodeID]int{}
+	var links []topology.LinkID
+	var switches []topology.NodeID
+	for i := range flows {
+		for _, p := range cand[i] {
+			for _, lid := range p.Links(g) {
+				if _, ok := linkIdx[lid]; !ok {
+					linkIdx[lid] = len(links)
+					links = append(links, lid)
+				}
+			}
+			for _, n := range p {
+				if g.Node(n).Kind.IsSwitch() {
+					if _, ok := switchIdx[n]; !ok {
+						switchIdx[n] = len(switches)
+						switches = append(switches, n)
+					}
+				}
+			}
+		}
+	}
+
+	// Variable layout: z vars first, then x, then y.
+	zBase := make([]int, len(flows))
+	nz := 0
+	for i := range flows {
+		zBase[i] = nz
+		nz += len(cand[i])
+	}
+	xBase := nz
+	yBase := xBase + len(links)
+	total := yBase + len(switches)
+
+	prob := lp.NewProblem(total)
+	// Objective: link and switch power. A tiny epsilon on links breaks
+	// ties toward fewer active links even when configured link power is 0.
+	for li, lid := range links {
+		prob.SetObj(xBase+li, g.Link(lid).PowerW+1e-3)
+	}
+	for si, n := range switches {
+		prob.SetObj(yBase+si, g.Node(n).PowerW)
+	}
+
+	// Each flow picks exactly one path.
+	for i := range flows {
+		coeffs := map[int]float64{}
+		for p := range cand[i] {
+			coeffs[zBase[i]+p] = 1
+		}
+		prob.AddConstraint(coeffs, lp.EQ, 1)
+	}
+
+	// Per-direction link capacity with activation coupling, row-scaled so
+	// every coefficient is O(1) (raw bits-per-second coefficients span
+	// nine orders of magnitude against the ±1 coupling rows and destroy
+	// simplex numerics):
+	//   Σ (eff_i/usableCap)·z_{i,p} − x_l <= 0 for each used direction.
+	usable := func(lid topology.LinkID) float64 {
+		return g.Link(lid).CapacityBps - cfg.SafetyMarginBps
+	}
+	dirUsers := map[int]map[int]float64{}
+	for i, f := range flows {
+		eff := cfg.effective(f)
+		for p, path := range cand[i] {
+			for _, d := range path.DirLinks(g) {
+				if dirUsers[d] == nil {
+					dirUsers[d] = map[int]float64{}
+				}
+				dirUsers[d][zBase[i]+p] += eff / usable(topology.LinkID(d/2))
+			}
+		}
+	}
+	for d, users := range dirUsers {
+		lid := topology.LinkID(d / 2)
+		coeffs := map[int]float64{}
+		for v, c := range users {
+			coeffs[v] = c
+		}
+		coeffs[xBase+linkIdx[lid]] = -1
+		prob.AddConstraint(coeffs, lp.LE, 0)
+	}
+
+	// Active link implies both endpoint switches active (eq. 7).
+	for li, lid := range links {
+		l := g.Link(lid)
+		for _, end := range []topology.NodeID{l.A, l.B} {
+			if si, ok := switchIdx[end]; ok {
+				prob.AddConstraint(map[int]float64{xBase + li: 1, yBase + si: -1}, lp.LE, 0)
+			}
+		}
+	}
+
+	// A switch with no active links sleeps (eq. 8): y_s <= Σ x_l over
+	// incident modeled links.
+	for si, n := range switches {
+		coeffs := map[int]float64{yBase + si: 1}
+		for _, lid := range g.LinksAt(n) {
+			if li, ok := linkIdx[lid]; ok {
+				coeffs[xBase+li] = -1
+			}
+		}
+		prob.AddConstraint(coeffs, lp.LE, 0)
+	}
+
+	binaries := make([]int, total)
+	for j := range binaries {
+		binaries[j] = j
+	}
+	layout := &exactLayout{
+		cand:     cand,
+		zBase:    zBase,
+		links:    links,
+		switches: switches,
+		xBase:    xBase,
+		yBase:    yBase,
+	}
+	return prob, binaries, layout, nil
+}
+
+// Verify checks a result against the model invariants: every placed path
+// is active and valid, reserved bandwidth respects capacities, and flow
+// conservation holds trivially by path construction. It returns the first
+// violation found.
+func Verify(g *topology.Graph, flows []flow.Flow, cfg Config, res *Result) error {
+	byID := map[flow.ID]flow.Flow{}
+	for _, f := range flows {
+		byID[f.ID] = f
+	}
+	reserved := map[int]float64{}
+	for id, p := range res.Paths {
+		f, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("consolidate: path for unknown flow %d", id)
+		}
+		if !p.Valid(g) {
+			return fmt.Errorf("consolidate: invalid path for flow %d", id)
+		}
+		if p[0] != f.Src || p[len(p)-1] != f.Dst {
+			return fmt.Errorf("consolidate: path endpoints wrong for flow %d", id)
+		}
+		if !res.Active.PathOn(p) {
+			return fmt.Errorf("consolidate: path for flow %d crosses inactive elements", id)
+		}
+		for _, d := range p.DirLinks(g) {
+			reserved[d] += cfg.effective(f)
+		}
+	}
+	for d, r := range reserved {
+		lid := topology.LinkID(d / 2)
+		if r > g.Link(lid).CapacityBps-cfg.SafetyMarginBps+1e-6 {
+			return fmt.Errorf("consolidate: link %d (dir %d) overcommitted: %.0f reserved", lid, d%2, r)
+		}
+	}
+	return nil
+}

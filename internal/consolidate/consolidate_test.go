@@ -1,0 +1,303 @@
+package consolidate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/milp"
+)
+
+func tree(t testing.TB) *fattree.FatTree {
+	t.Helper()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+// fig2Flows reproduces the Fig 2 scenario: one 900 Mbps latency-tolerant
+// elephant and two 20 Mbps latency-sensitive flows on a 4-ary fat-tree with
+// 1 Gbps links and a 50 Mbps safety margin.
+func fig2Flows(ft *fattree.FatTree) []flow.Flow {
+	return []flow.Flow{
+		{ID: 0, Src: ft.Hosts[1], Dst: ft.Hosts[5], DemandBps: 900e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 20e6, Class: flow.LatencySensitive},
+		{ID: 2, Src: ft.Hosts[2], Dst: ft.Hosts[6], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+}
+
+func TestGreedyFig2K1SharesPath(t *testing.T) {
+	ft := tree(t)
+	res, err := Greedy(ft, fig2Flows(ft), Config{ScaleK: 1, SafetyMarginBps: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("K=1 must be feasible")
+	}
+	if err := Verify(ft.Graph, fig2Flows(ft), Config{ScaleK: 1, SafetyMarginBps: 50e6}, res); err != nil {
+		t.Fatal(err)
+	}
+	// With K=1 all three flows fit through one core; a consolidated
+	// placement needs few switches. The flows span 3 edge switches per
+	// side at most; with everything through one agg pair + one core the
+	// count is small.
+	if n := res.Active.ActiveSwitches(); n > 8 {
+		t.Fatalf("K=1 active switches %d, want tight consolidation (<=8)", n)
+	}
+}
+
+func TestGreedyScaleFactorSpreadsFlows(t *testing.T) {
+	ft := tree(t)
+	flows := fig2Flows(ft)
+	var prevSwitches int
+	var prevMaxUtil float64
+	for i, k := range []float64{1, 2, 3} {
+		cfg := Config{ScaleK: k, SafetyMarginBps: 50e6}
+		res, err := Greedy(ft, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("K=%g infeasible", k)
+		}
+		if err := Verify(ft.Graph, flows, cfg, res); err != nil {
+			t.Fatalf("K=%g: %v", k, err)
+		}
+		sw := res.Active.ActiveSwitches()
+		// Worst actual utilization across the latency-sensitive paths.
+		maxUtil := 0.0
+		for _, id := range []flow.ID{1, 2} {
+			for _, u := range res.PathUtilizations(ft.Graph, id) {
+				if u > maxUtil {
+					maxUtil = u
+				}
+			}
+		}
+		if i > 0 {
+			if sw < prevSwitches {
+				t.Fatalf("K=%g: switches %d < previous %d", k, sw, prevSwitches)
+			}
+			if maxUtil > prevMaxUtil+1e-9 {
+				t.Fatalf("K=%g: sensitive-path utilization %g grew from %g", k, maxUtil, prevMaxUtil)
+			}
+		}
+		prevSwitches, prevMaxUtil = sw, maxUtil
+	}
+	// Fig 2(b): at K=2 both sensitive flows cannot share the elephant's
+	// core links (900+2*40 > 950) so exactly one moves to a new path;
+	// Fig 2(c): at K=3 even a single sensitive flow no longer fits
+	// alongside the elephant (900+60 > 950), so both move.
+	sharing := func(k float64) int {
+		res, err := Greedy(ft, flows, Config{ScaleK: k, SafetyMarginBps: 50e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eleLinks := map[int]bool{}
+		for _, lid := range res.Paths[0].Links(ft.Graph) {
+			eleLinks[int(lid)] = true
+		}
+		n := 0
+		for _, id := range []flow.ID{1, 2} {
+			for _, lid := range res.Paths[id].Links(ft.Graph) {
+				if eleLinks[int(lid)] {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	if n := sharing(1); n != 2 {
+		t.Fatalf("K=1: %d sensitive flows share with elephant, want 2", n)
+	}
+	if n := sharing(2); n != 1 {
+		t.Fatalf("K=2: %d sensitive flows share with elephant, want 1", n)
+	}
+	if n := sharing(3); n != 0 {
+		t.Fatalf("K=3: %d sensitive flows share with elephant, want 0", n)
+	}
+}
+
+func TestGreedyInfeasibleOvercommit(t *testing.T) {
+	ft := tree(t)
+	// Two 600 Mbps flows from the same host cannot both leave through the
+	// single 1 Gbps host link.
+	flows := []flow.Flow{
+		{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 600e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[8], DemandBps: 600e6, Class: flow.Background},
+	}
+	res, err := Greedy(ft, flows, Config{ScaleK: 1, SafetyMarginBps: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || len(res.Unplaced) != 1 {
+		t.Fatalf("expected exactly one unplaced flow, got feasible=%v unplaced=%v", res.Feasible, res.Unplaced)
+	}
+}
+
+func TestGreedyRejectsInvalidFlow(t *testing.T) {
+	ft := tree(t)
+	if _, err := Greedy(ft, []flow.Flow{{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[0]}}, Config{}); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+	if _, err := Exact(ft, []flow.Flow{{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[0]}}, Config{}, milp.Options{}); err == nil {
+		t.Fatal("invalid flow accepted by Exact")
+	}
+}
+
+func TestGreedyRestrictToAggregationPolicy(t *testing.T) {
+	ft := tree(t)
+	flows := fig2Flows(ft)
+	restrict := ft.AggregationPolicy(3) // one core only
+	cfg := Config{ScaleK: 1, SafetyMarginBps: 50e6, Restrict: restrict}
+	res, err := Greedy(ft, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("restricted placement should fit at K=1")
+	}
+	for id, p := range res.Paths {
+		if !restrict.PathOn(p) {
+			t.Fatalf("flow %d leaves the restricted subnet", id)
+		}
+	}
+	// With K=3 the sensitive flows need a second core path that the
+	// restriction forbids.
+	cfg.ScaleK = 3
+	res, err = Greedy(ft, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("K=3 under aggregation 3 must be infeasible")
+	}
+}
+
+func TestExactMatchesOrBeatsGreedy(t *testing.T) {
+	ft := tree(t)
+	flows := fig2Flows(ft)
+	cfg := Config{ScaleK: 2, SafetyMarginBps: 50e6}
+	greedy, err := Greedy(ft, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(ft, flows, cfg, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Feasible {
+		t.Fatal("exact should be feasible")
+	}
+	if err := Verify(ft.Graph, flows, cfg, exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Active.ActiveSwitches() > greedy.Active.ActiveSwitches() {
+		t.Fatalf("exact uses %d switches, greedy %d", exact.Active.ActiveSwitches(), greedy.Active.ActiveSwitches())
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	ft := tree(t)
+	flows := []flow.Flow{
+		{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 600e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[8], DemandBps: 600e6, Class: flow.Background},
+	}
+	res, err := Exact(ft, flows, Config{ScaleK: 1, SafetyMarginBps: 50e6}, milp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("overcommitted exact instance reported feasible")
+	}
+}
+
+func TestScaleBackgroundOption(t *testing.T) {
+	ft := tree(t)
+	flows := []flow.Flow{{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 500e6, Class: flow.Background}}
+	// With ScaleBackground and K=2 the elephant reserves 1 Gbps > usable
+	// 950 Mbps → infeasible.
+	res, err := Greedy(ft, flows, Config{ScaleK: 2, SafetyMarginBps: 50e6, ScaleBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("scaled background elephant must not fit")
+	}
+	res, err = Greedy(ft, flows, Config{ScaleK: 2, SafetyMarginBps: 50e6})
+	if err != nil || !res.Feasible {
+		t.Fatalf("unscaled background must fit: %v %v", res.Feasible, err)
+	}
+}
+
+// Property: greedy placements always verify, and reserved >= actual on
+// every link.
+func TestQuickGreedyInvariants(t *testing.T) {
+	ft := tree(t)
+	f := func(seed int64, n8, k8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(n8)%12
+		k := 1 + float64(k8%4)
+		flows := make([]flow.Flow, 0, n)
+		for i := 0; i < n; i++ {
+			src := ft.Hosts[r.Intn(len(ft.Hosts))]
+			dst := ft.Hosts[r.Intn(len(ft.Hosts))]
+			if src == dst {
+				continue
+			}
+			class := flow.LatencySensitive
+			demand := 5e6 + r.Float64()*50e6
+			if r.Intn(3) == 0 {
+				class = flow.Background
+				demand = 50e6 + r.Float64()*400e6
+			}
+			flows = append(flows, flow.Flow{ID: flow.ID(i), Src: src, Dst: dst, DemandBps: demand, Class: class})
+		}
+		cfg := Config{ScaleK: k, SafetyMarginBps: 50e6}
+		res, err := Greedy(ft, flows, cfg)
+		if err != nil {
+			return false
+		}
+		if res.Feasible {
+			if err := Verify(ft.Graph, flows, cfg, res); err != nil {
+				t.Logf("verify: %v", err)
+				return false
+			}
+		}
+		for lid, actual := range res.ActualBps {
+			if res.ReservedBps[lid] < actual-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedy50Flows(b *testing.B) {
+	ft := tree(b)
+	r := rand.New(rand.NewSource(1))
+	flows := make([]flow.Flow, 0, 50)
+	for i := 0; i < 50; i++ {
+		src := ft.Hosts[r.Intn(len(ft.Hosts))]
+		dst := ft.Hosts[(int(src)+1+r.Intn(len(ft.Hosts)-1))%len(ft.Hosts)]
+		if src == dst {
+			continue
+		}
+		flows = append(flows, flow.Flow{ID: flow.ID(i), Src: src, Dst: dst, DemandBps: 10e6 + r.Float64()*30e6, Class: flow.LatencySensitive})
+	}
+	cfg := Config{ScaleK: 2, SafetyMarginBps: 50e6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(ft, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package consolidate
+
+import (
+	"testing"
+
+	"eprons/internal/flow"
+	"eprons/internal/lp"
+	"eprons/internal/milp"
+	"eprons/internal/rng"
+	"eprons/internal/topology"
+)
+
+// TestExactMatchesBruteForce regression-tests the MILP against exhaustive
+// enumeration on the instance that once exposed a numerical-conditioning
+// bug (unscaled bits-per-second capacity rows made branch-and-bound prune
+// the true optimum and claim optimality at 40% extra switch power).
+func TestExactMatchesBruteForce(t *testing.T) {
+	ft := tree(t)
+	stream := rng.Derive(1, "heur-vs-exact")
+	var sets [][]flow.Flow
+	for _, n := range []int{3, 4} {
+		var flows []flow.Flow
+		for i := 0; i < n; i++ {
+			src := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			dst := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			if src == dst {
+				continue
+			}
+			class := flow.LatencySensitive
+			demand := 10e6 + stream.Float64()*40e6
+			if stream.Intn(3) == 0 {
+				class = flow.Background
+				demand = 100e6 + stream.Float64()*300e6
+			}
+			flows = append(flows, flow.Flow{ID: flow.ID(i), Src: src, Dst: dst, DemandBps: demand, Class: class})
+		}
+		sets = append(sets, flows)
+	}
+	flows := sets[1]
+	for _, f := range flows {
+		t.Logf("flow %d: %s->%s %.0fM %v", f.ID, ft.Graph.Node(f.Src).Name, ft.Graph.Node(f.Dst).Name, f.DemandBps/1e6, f.Class)
+	}
+	cfg := Config{ScaleK: 2, SafetyMarginBps: 50e6}
+
+	// Brute force over all path combinations.
+	cands := make([][]topology.Path, len(flows))
+	for i, f := range flows {
+		cands[i] = ft.Paths(f.Src, f.Dst)
+	}
+	bestSw := 1 << 30
+	var rec func(i int, reserved map[int]float64, links map[topology.LinkID]bool)
+	rec = func(i int, reserved map[int]float64, links map[topology.LinkID]bool) {
+		if i == len(flows) {
+			active := topology.NewEmptyActiveSet(ft.Graph)
+			for l := range links {
+				active.SetLink(l, true)
+			}
+			if n := active.ActiveSwitches(); n < bestSw {
+				bestSw = n
+			}
+			return
+		}
+		eff := cfg.effective(flows[i])
+		for _, p := range cands[i] {
+			ok := true
+			for _, d := range p.DirLinks(ft.Graph) {
+				if reserved[d]+eff > ft.Graph.Link(topology.LinkID(d/2)).CapacityBps-cfg.SafetyMarginBps {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			r2 := map[int]float64{}
+			for k, v := range reserved {
+				r2[k] = v
+			}
+			l2 := map[topology.LinkID]bool{}
+			for k := range links {
+				l2[k] = true
+			}
+			for _, d := range p.DirLinks(ft.Graph) {
+				r2[d] += eff
+				l2[topology.LinkID(d/2)] = true
+			}
+			rec(i+1, r2, l2)
+		}
+	}
+	rec(0, map[int]float64{}, map[topology.LinkID]bool{})
+	t.Logf("brute-force optimal switches: %d", bestSw)
+
+	greedy, _ := Greedy(ft, flows, cfg)
+	t.Logf("greedy: %d switches", greedy.Active.ActiveSwitches())
+	exact, err := Exact(ft, flows, cfg, milp.Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exact: feasible=%v optimal=%v switches=%d", exact.Feasible, exact.Optimal, exact.Active.ActiveSwitches())
+	if !exact.Feasible || !exact.Optimal {
+		t.Fatalf("exact not proven optimal: %+v", exact)
+	}
+	if exact.Active.ActiveSwitches() != bestSw {
+		t.Fatalf("exact %d switches, brute force %d", exact.Active.ActiveSwitches(), bestSw)
+	}
+	if greedy.Active.ActiveSwitches() < bestSw {
+		t.Fatalf("greedy beat the proven optimum?!")
+	}
+}
+
+// TestRootRelaxationBounds checks the LP relaxation lower-bounds the
+// integer optimum (a broken bound is how B&B goes wrong silently).
+func TestRootRelaxationBounds(t *testing.T) {
+	ft := tree(t)
+	stream := rng.Derive(1, "heur-vs-exact")
+	var sets [][]flow.Flow
+	for _, n := range []int{3, 4} {
+		var flows []flow.Flow
+		for i := 0; i < n; i++ {
+			src := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			dst := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			if src == dst {
+				continue
+			}
+			class := flow.LatencySensitive
+			demand := 10e6 + stream.Float64()*40e6
+			if stream.Intn(3) == 0 {
+				class = flow.Background
+				demand = 100e6 + stream.Float64()*300e6
+			}
+			flows = append(flows, flow.Flow{ID: flow.ID(i), Src: src, Dst: dst, DemandBps: demand, Class: class})
+		}
+		sets = append(sets, flows)
+	}
+	flows := sets[1]
+	cfg := Config{ScaleK: 2, SafetyMarginBps: 50e6}
+	prob, binaries, layout, err := buildExactModel(ft, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = layout
+	for _, j := range binaries {
+		prob.AddConstraint(map[int]float64{j: 1}, lp.LE, 1)
+	}
+	sol := lp.Solve(prob)
+	t.Logf("root relaxation: status=%v obj=%.3f iters=%d vars=%d cons=%d",
+		sol.Status, sol.Objective, sol.Iterations, prob.NumVars(), prob.NumConstraints())
+	if sol.Status != lp.Optimal {
+		t.Fatalf("root relaxation status %v", sol.Status)
+	}
+	// The known integer optimum for this instance uses 10 switches.
+	if sol.Objective > 10*36+1 {
+		t.Fatalf("relaxation %.1f does not lower-bound the integer optimum 360", sol.Objective)
+	}
+}

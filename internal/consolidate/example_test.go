@@ -1,0 +1,38 @@
+package consolidate_test
+
+import (
+	"fmt"
+	"log"
+
+	"eprons/internal/consolidate"
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+)
+
+// Consolidate a small flow mix onto a 4-ary fat-tree and report how much
+// of the fabric can sleep.
+func ExampleGreedy() {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows := []flow.Flow{
+		{ID: 0, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 700e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[1], Dst: ft.Hosts[5], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+	res, err := consolidate.Greedy(ft, flows, consolidate.Config{
+		ScaleK:          2,    // reserve 2x for the latency-sensitive flow
+		SafetyMarginBps: 50e6, // the paper's 50 Mbps prediction margin
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("switches on: %d of %d\n", res.Active.ActiveSwitches(), ft.NumSwitches())
+	fmt.Printf("network power: %.0f W (full fabric: %.0f W)\n",
+		res.NetworkPowerW, ft.Graph.MaxPower())
+	// Output:
+	// feasible: true
+	// switches on: 5 of 20
+	// network power: 180 W (full fabric: 720 W)
+}

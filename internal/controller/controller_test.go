@@ -1,0 +1,239 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+
+	"eprons/internal/consolidate"
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/netsim"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *netsim.Network, *fattree.FatTree, []flow.Flow) {
+	t.Helper()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	flows := []flow.Flow{
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 100e6, Class: flow.Background},
+		{ID: 2, Src: ft.Hosts[1], Dst: ft.Hosts[5], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+	return eng, net, ft, flows
+}
+
+func greedyOpt(ft *fattree.FatTree, k float64) Optimizer {
+	return OptimizerFunc(func(flows []flow.Flow) (*consolidate.Result, error) {
+		return consolidate.Greedy(ft, flows, consolidate.Config{ScaleK: k, SafetyMarginBps: 50e6})
+	})
+}
+
+func TestValidation(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	if _, err := New(eng, net, nil, flows, DefaultConfig()); err == nil {
+		t.Fatal("nil optimizer accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.StatsPeriod = 0
+	if _, err := New(eng, net, greedyOpt(ft, 1), flows, cfg); err == nil {
+		t.Fatal("zero stats period accepted")
+	}
+}
+
+func TestStartAppliesInitialPlan(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 2), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Applied != 1 {
+		t.Fatalf("applied %d", c.Applied)
+	}
+	// Routes installed for both flows.
+	for _, f := range flows {
+		if _, ok := net.Route(f.ID); !ok {
+			t.Fatalf("no route for flow %d", f.ID)
+		}
+	}
+	// The active set is consolidated (fewer switches than the full 20).
+	if n := net.Active().ActiveSwitches(); n >= 20 || n == 0 {
+		t.Fatalf("active switches %d", n)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestStatsFeedPredictor(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	cfg := DefaultConfig()
+	cfg.StatsPeriod = 1
+	cfg.OptimizePeriod = 10
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Background source on flow 1 at ~200 Mbps.
+	net.StartBackground(1, func() float64 { return 200e6 }, rng.New(5))
+	eng.Run(11.5)
+	c.Stop()
+	// After the 10s optimize tick, the predictor holds epoch history and
+	// predicts roughly the measured rate (within Poisson noise).
+	got := c.Predictor().Predict(1, 0)
+	if got < 120e6 || got > 320e6 {
+		t.Fatalf("predicted %g, want ≈200e6", got)
+	}
+	if c.Applied < 2 {
+		t.Fatalf("applied %d, want initial + periodic", c.Applied)
+	}
+}
+
+func TestInfeasibleKeepsOldConfig(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	calls := 0
+	opt := OptimizerFunc(func(fl []flow.Flow) (*consolidate.Result, error) {
+		calls++
+		if calls == 1 {
+			return consolidate.Greedy(ft, fl, consolidate.Config{ScaleK: 1, SafetyMarginBps: 50e6})
+		}
+		return nil, errors.New("solver exploded")
+	})
+	cfg := DefaultConfig()
+	cfg.OptimizePeriod = 5
+	c, err := New(eng, net, opt, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	first := c.LastResult
+	eng.Run(11)
+	c.Stop()
+	if c.Failures < 2 {
+		t.Fatalf("failures %d", c.Failures)
+	}
+	if c.LastResult != first {
+		t.Fatal("failed optimization replaced the applied result")
+	}
+	// Old routes still work.
+	delivered := false
+	net.SendMessage(2, 1500, func(float64) { delivered = true }, nil)
+	eng.RunAll()
+	if !delivered {
+		t.Fatal("routes lost after failed optimization")
+	}
+}
+
+func TestMakeBeforeBreakTransition(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	k := 1.0
+	opt := OptimizerFunc(func(fl []flow.Flow) (*consolidate.Result, error) {
+		return consolidate.Greedy(ft, fl, consolidate.Config{ScaleK: k, SafetyMarginBps: 50e6})
+	})
+	cfg := DefaultConfig()
+	cfg.OptimizePeriod = 10
+	cfg.TransitionDelay = 3
+	c, err := New(eng, net, opt, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	firstCount := net.Active().ActiveSwitches()
+	// Second optimization at t=10 with K=4 turns on more elements; during
+	// the transition the union is active.
+	k = 4
+	eng.Run(11)
+	during := net.Active().ActiveSwitches()
+	if during < firstCount {
+		t.Fatalf("transition shrank active set: %d < %d", during, firstCount)
+	}
+	eng.Run(14)
+	after := net.Active().ActiveSwitches()
+	if after > during {
+		t.Fatalf("final set larger than union: %d > %d", after, during)
+	}
+	c.Stop()
+}
+
+func TestStopHaltsLoops(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	cfg := DefaultConfig()
+	cfg.StatsPeriod = 1
+	cfg.OptimizePeriod = 2
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2.5)
+	applied := c.Applied
+	c.Stop()
+	eng.Run(20)
+	if c.Applied != applied {
+		t.Fatal("controller kept optimizing after Stop")
+	}
+}
+
+func TestDynamicFlows(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A new latency-sensitive tenant arrives.
+	newFlow := flow.Flow{ID: 42, Src: ft.Hosts[3], Dst: ft.Hosts[9], DemandBps: 30e6, Class: flow.LatencySensitive}
+	if err := c.AddFlow(newFlow); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFlow(newFlow); err == nil {
+		t.Fatal("duplicate flow accepted")
+	}
+	if err := c.AddFlow(flow.Flow{ID: 43, Src: ft.Hosts[0], Dst: ft.Hosts[0]}); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+	if _, ok := net.Route(42); ok {
+		t.Fatal("route exists before reoptimization")
+	}
+	if err := c.Reoptimize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Route(42); !ok {
+		t.Fatal("no route after reoptimization")
+	}
+	delivered := false
+	net.SendMessage(42, 1500, func(float64) { delivered = true }, nil)
+	eng.Run(1) // bounded: the controller's periodic ticks never drain
+	if !delivered {
+		t.Fatal("new tenant's traffic not deliverable")
+	}
+	// Tenant leaves.
+	if !c.RemoveFlow(42) {
+		t.Fatal("remove failed")
+	}
+	if c.RemoveFlow(42) {
+		t.Fatal("double remove succeeded")
+	}
+	if len(c.Flows()) != len(flows) {
+		t.Fatalf("flow count %d", len(c.Flows()))
+	}
+	c.Stop()
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eprons/internal/dvfs"
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/server"
+	"eprons/internal/workload"
+)
+
+// smallTrain returns a fast training config (few cells, short sims, 4
+// cores) good enough for shape assertions.
+func smallTrain(policy func(m *dvfs.Model) server.Policy) TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Cores = 4
+	cfg.Duration = 8
+	cfg.Utils = []float64{0.10, 0.30, 0.50}
+	cfg.Budgets = []float64{8e-3, 12e-3, 20e-3, 30e-3}
+	if policy != nil {
+		cfg.Policy = policy
+	}
+	return cfg
+}
+
+func trainSmall(t testing.TB, policy func(m *dvfs.Model) server.Policy) *ServerPowerTable {
+	t.Helper()
+	tb, err := TrainServerPowerTable(smallTrain(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	cfg.Utils = nil
+	if _, err := TrainServerPowerTable(cfg); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	cfg = DefaultTrainConfig()
+	cfg.Utils = []float64{0.5, 0.1}
+	if _, err := TrainServerPowerTable(cfg); err == nil {
+		t.Fatal("unsorted grid accepted")
+	}
+	cfg = DefaultTrainConfig()
+	cfg.Policy = nil
+	if _, err := TrainServerPowerTable(cfg); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	tb := trainSmall(t, nil)
+	// Power increases with utilization at fixed budget.
+	for bi := range tb.Budgets {
+		for ui := 1; ui < len(tb.Utils); ui++ {
+			if tb.PowerW[ui][bi] < tb.PowerW[ui-1][bi]-0.15 {
+				t.Fatalf("power not increasing in util at budget %g: %v",
+					tb.Budgets[bi], tb.PowerW)
+			}
+		}
+	}
+	// Power decreases (weakly) with budget at fixed utilization.
+	for ui := range tb.Utils {
+		for bi := 1; bi < len(tb.Budgets); bi++ {
+			if tb.PowerW[ui][bi] > tb.PowerW[ui][bi-1]+0.15 {
+				t.Fatalf("power not decreasing in budget at util %g: %v",
+					tb.Utils[ui], tb.PowerW[ui])
+			}
+		}
+	}
+	// Generous budgets are feasible.
+	if _, ok := tb.Lookup(0.3, 30e-3); !ok {
+		t.Fatal("30ms budget at 30% util should be feasible")
+	}
+	// Budgets below the grid are infeasible.
+	if _, ok := tb.Lookup(0.3, 1e-3); ok {
+		t.Fatal("1ms budget should be infeasible")
+	}
+}
+
+func TestTableLookupInterpolation(t *testing.T) {
+	tb := &ServerPowerTable{
+		Utils:   []float64{0.1, 0.3},
+		Budgets: []float64{10e-3, 20e-3},
+		PowerW:  [][]float64{{10, 8}, {20, 16}},
+		OK:      [][]bool{{true, true}, {true, true}},
+	}
+	// Exact corners.
+	if p, ok := tb.Lookup(0.1, 10e-3); !ok || p != 10 {
+		t.Fatalf("corner lookup %g %v", p, ok)
+	}
+	// Midpoint bilinear.
+	p, ok := tb.Lookup(0.2, 15e-3)
+	if !ok || math.Abs(p-13.5) > 1e-9 {
+		t.Fatalf("midpoint %g, want 13.5", p)
+	}
+	// Clamping above the grid.
+	if p, _ := tb.Lookup(0.9, 50e-3); p != 16 {
+		t.Fatalf("clamped %g, want 16", p)
+	}
+	// Empty table.
+	empty := &ServerPowerTable{}
+	if _, ok := empty.Lookup(0.3, 10e-3); ok {
+		t.Fatal("empty table lookup succeeded")
+	}
+}
+
+func fig2Flows(ft *fattree.FatTree) []flow.Flow {
+	return []flow.Flow{
+		{ID: 0, Src: ft.Hosts[1], Dst: ft.Hosts[5], DemandBps: 900e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 20e6, Class: flow.LatencySensitive},
+		{ID: 2, Src: ft.Hosts[2], Dst: ft.Hosts[6], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+}
+
+func newPlanner(t testing.TB, tb *ServerPowerTable) (*Planner, *fattree.FatTree) {
+	t.Helper()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(DefaultConfig(), ft, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ft
+}
+
+func TestPlannerValidation(t *testing.T) {
+	ft, _ := fattree.New(fattree.DefaultConfig())
+	if _, err := NewPlanner(DefaultConfig(), nil, &ServerPowerTable{}); err == nil {
+		t.Fatal("nil fat-tree accepted")
+	}
+	if _, err := NewPlanner(DefaultConfig(), ft, nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+}
+
+func TestPlanKFindsFeasiblePlan(t *testing.T) {
+	tb := trainSmall(t, nil)
+	p, ft := newPlanner(t, tb)
+	plan, err := p.PlanK(fig2Flows(ft), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("plan infeasible")
+	}
+	if plan.K < 1 || plan.K > p.Cfg.KMax {
+		t.Fatalf("K=%d out of range", plan.K)
+	}
+	if plan.TotalPowerW != plan.NetworkPowerW+plan.ServerPowerW {
+		t.Fatal("power split inconsistent")
+	}
+	if plan.NetworkPowerW <= 0 || plan.ServerPowerW <= 0 {
+		t.Fatalf("degenerate powers %+v", plan)
+	}
+	// The consolidation actually turned switches off.
+	if plan.Res.Active.ActiveSwitches() >= ft.NumSwitches() {
+		t.Fatal("no consolidation happened")
+	}
+	if plan.SlackS < 0 || plan.SlackS > p.Cfg.NetworkBudget {
+		t.Fatalf("slack %g out of range", plan.SlackS)
+	}
+}
+
+func TestPlanKBeatsFullTopology(t *testing.T) {
+	tb := trainSmall(t, nil)
+	p, ft := newPlanner(t, tb)
+	flows := fig2Flows(ft)
+	plan, err := p.PlanK(flows, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.FullTopologyPlan(flows, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalPowerW > full.TotalPowerW {
+		t.Fatalf("joint plan %.1fW worse than full topology %.1fW", plan.TotalPowerW, full.TotalPowerW)
+	}
+	// Full topology burns all 20 switches.
+	if full.NetworkPowerW != 20*36 {
+		t.Fatalf("full topology network power %g", full.NetworkPowerW)
+	}
+}
+
+func TestPlanAggregationTradeoff(t *testing.T) {
+	// The Fig 13 inversion mechanism: deeper aggregation always has lower
+	// network power but can lose feasibility or slack; network power must
+	// be monotone decreasing in level.
+	tb := trainSmall(t, nil)
+	p, ft := newPlanner(t, tb)
+	flows := fig2Flows(ft)
+	var prevNet float64 = math.Inf(1)
+	for level := 0; level < ft.NumAggregationPolicies(); level++ {
+		plan, err := p.PlanAggregation(flows, 0.3, level, 30e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NetworkPowerW > prevNet {
+			t.Fatalf("network power grew at level %d", level)
+		}
+		prevNet = plan.NetworkPowerW
+	}
+	// A hopeless constraint is infeasible everywhere.
+	plan, err := p.PlanAggregation(flows, 0.3, 0, 6e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("6ms total constraint should be infeasible")
+	}
+}
+
+func TestOptimizeImplementsController(t *testing.T) {
+	tb := trainSmall(t, nil)
+	p, ft := newPlanner(t, tb)
+	res, err := p.Optimize(fig2Flows(ft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("optimize returned infeasible result")
+	}
+}
+
+func TestSavingsVsBaseline(t *testing.T) {
+	if v := SavingsVsBaseline(75, 100); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("saving %g", v)
+	}
+	if SavingsVsBaseline(120, 100) != 0 {
+		t.Fatal("negative savings must clamp to 0")
+	}
+	if SavingsVsBaseline(1, 0) != 0 {
+		t.Fatal("zero baseline must return 0")
+	}
+}
+
+// Property: bracket() returns indices that bound v with a fraction in
+// [0,1].
+func TestQuickBracket(t *testing.T) {
+	grid := []float64{1, 2, 4, 8}
+	f := func(raw uint16) bool {
+		v := float64(raw) / 65535 * 10
+		lo, hi, frac := bracket(grid, v)
+		if lo < 0 || hi >= len(grid) || lo > hi {
+			return false
+		}
+		if frac < 0 || frac > 1 {
+			return false
+		}
+		if lo == hi {
+			return true
+		}
+		got := grid[lo] + frac*(grid[hi]-grid[lo])
+		return math.Abs(got-v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy test")
+	}
+	eprons := trainSmall(t, nil)
+	tt := trainSmall(t, func(m *dvfs.Model) server.Policy { return dvfs.NewTimeTrader() })
+	mf := trainSmall(t, func(m *dvfs.Model) server.Policy { return dvfs.NewMaxFreq() })
+	p, _ := newPlanner(t, eprons)
+	res, err := RunDiurnal(DiurnalConfig{
+		Planner:         p,
+		TimeTraderTable: tt,
+		MaxFreqTable:    mf,
+		SearchTrace:     workload.SearchLoadTrace(),
+		BgTrace:         workload.BackgroundTrace(),
+		PeakUtil:        0.5,
+		StepS:           300, // coarser than Fig 15 for test speed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.EPRONS.TotalW.Len()
+	if n == 0 || n != res.NoPM.TotalW.Len() {
+		t.Fatalf("series lengths %d/%d", n, res.NoPM.TotalW.Len())
+	}
+	avgE := AvgSaving(&res.EPRONS.TotalW, &res.NoPM.TotalW)
+	avgT := AvgSaving(&res.TimeTrader.TotalW, &res.NoPM.TotalW)
+	maxE := MaxSaving(&res.EPRONS.TotalW, &res.NoPM.TotalW)
+	t.Logf("avg saving: EPRONS %.1f%%, TimeTrader %.1f%%; peak EPRONS %.1f%%",
+		avgE*100, avgT*100, maxE*100)
+	// Fig 15 shape: EPRONS saves far more than TimeTrader; the paper
+	// reports 25% vs 8% average and 31% peak.
+	if avgE < 1.5*avgT {
+		t.Fatalf("EPRONS saving %.3f not well above TimeTrader %.3f", avgE, avgT)
+	}
+	if avgE < 0.10 {
+		t.Fatalf("EPRONS average saving %.3f too small", avgE)
+	}
+	if maxE <= avgE {
+		t.Fatal("peak saving should exceed average (diurnal variation)")
+	}
+	// EPRONS network power follows the diurnal pattern: it must vary.
+	if res.EPRONS.NetW.Min() >= res.EPRONS.NetW.Max() {
+		t.Fatal("EPRONS network power is flat")
+	}
+	// Baselines never save network power.
+	if res.NoPM.NetW.Min() != res.NoPM.NetW.Max() {
+		t.Fatal("baseline network power should be constant")
+	}
+}
+
+func TestDiurnalConfigValidation(t *testing.T) {
+	if _, err := RunDiurnal(DiurnalConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+// TestDiurnalWithMeasuredTrace drives the Fig 15 machinery from a
+// CSV-loaded measured trace instead of the synthetic curves.
+func TestDiurnalWithMeasuredTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy")
+	}
+	eprons := trainSmall(t, nil)
+	tt := trainSmall(t, func(m *dvfs.Model) server.Policy { return dvfs.NewTimeTrader() })
+	mf := trainSmall(t, func(m *dvfs.Model) server.Policy { return dvfs.NewMaxFreq() })
+	p, _ := newPlanner(t, eprons)
+	search, err := workload.NewSampledTrace(
+		[]float64{0, 6 * 3600, 12 * 3600, 18 * 3600},
+		[]float64{0.3, 0.6, 1.0, 0.5},
+		workload.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := workload.NewSampledTrace(
+		[]float64{0, 12 * 3600},
+		[]float64{0.1, 0.5},
+		workload.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDiurnal(DiurnalConfig{
+		Planner:         p,
+		TimeTraderTable: tt,
+		MaxFreqTable:    mf,
+		SearchTrace:     search,
+		BgTrace:         bg,
+		PeakUtil:        0.5,
+		StepS:           1800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EPRONS.TotalW.Len() != 48 {
+		t.Fatalf("points %d", res.EPRONS.TotalW.Len())
+	}
+	if AvgSaving(&res.EPRONS.TotalW, &res.NoPM.TotalW) <= 0 {
+		t.Fatal("no saving on measured trace")
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"eprons/internal/flow"
+	"eprons/internal/metrics"
+	"eprons/internal/power"
+	"eprons/internal/topology"
+	"eprons/internal/workload"
+)
+
+// DiurnalConfig drives the Fig 14/15 experiment: a 24-hour model-based
+// sweep at 1-minute granularity. Like the paper's Fig 13/15 ("this result
+// is scaled based on the result of our MiniNet experiments"), power levels
+// come from trained models — the server power table and the consolidation
+// planner — evaluated along the diurnal traces, re-planning every
+// OptimizePeriod.
+type DiurnalConfig struct {
+	Planner *Planner
+	// Tables per policy: the planner's table is EPRONS's; baselines use
+	// their own training runs.
+	TimeTraderTable *ServerPowerTable
+	MaxFreqTable    *ServerPowerTable
+
+	// SearchTrace and BgTrace are intensity curves — the synthetic
+	// workload.Trace shapes or a measured workload.SampledTrace loaded
+	// from CSV.
+	SearchTrace workload.Intensity
+	BgTrace     workload.Intensity
+	// PeakUtil is the server utilization at 100% search load (default
+	// 0.5).
+	PeakUtil float64
+	// StepS is the reporting granularity (default 60 s).
+	StepS float64
+	// OptimizePeriodS is the re-planning period (default 600 s).
+	OptimizePeriodS float64
+	// DurationS is the experiment span (default 24 h).
+	DurationS float64
+	// BgFlows is the number of background pod-pair elephants whose demand
+	// follows BgTrace (default: all 12 ordered pod pairs of a 4-pod
+	// fat-tree).
+	BgFlows int
+}
+
+// DiurnalSeries holds one scheme's per-minute power and derived savings.
+type DiurnalSeries struct {
+	Name    string
+	TotalW  metrics.Series
+	NetW    metrics.Series
+	ServerW metrics.Series
+}
+
+// DiurnalResult bundles the three compared schemes plus the traces.
+type DiurnalResult struct {
+	Times      []float64
+	SearchLoad []float64
+	BgLoad     []float64
+	EPRONS     DiurnalSeries
+	TimeTrader DiurnalSeries
+	NoPM       DiurnalSeries
+}
+
+// AvgSaving returns the mean fractional saving of s against the baseline
+// series (pointwise).
+func AvgSaving(s, baseline *metrics.Series) float64 {
+	if s.Len() == 0 || s.Len() != baseline.Len() {
+		return 0
+	}
+	sum := 0.0
+	for i := range s.V {
+		sum += SavingsVsBaseline(s.V[i], baseline.V[i])
+	}
+	return sum / float64(s.Len())
+}
+
+// MaxSaving returns the peak pointwise fractional saving.
+func MaxSaving(s, baseline *metrics.Series) float64 {
+	best := 0.0
+	for i := 0; i < s.Len() && i < baseline.Len(); i++ {
+		if v := SavingsVsBaseline(s.V[i], baseline.V[i]); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (c *DiurnalConfig) fill() error {
+	if c.Planner == nil {
+		return fmt.Errorf("core: diurnal config needs a planner")
+	}
+	if c.TimeTraderTable == nil || c.MaxFreqTable == nil {
+		return fmt.Errorf("core: diurnal config needs baseline tables")
+	}
+	if c.SearchTrace == nil || c.BgTrace == nil {
+		return fmt.Errorf("core: diurnal config needs search and background traces")
+	}
+	if c.PeakUtil <= 0 {
+		c.PeakUtil = 0.5
+	}
+	if c.StepS <= 0 {
+		c.StepS = 60
+	}
+	if c.OptimizePeriodS <= 0 {
+		c.OptimizePeriodS = 600
+	}
+	if c.DurationS <= 0 {
+		c.DurationS = workload.Day
+	}
+	if c.BgFlows <= 0 {
+		c.BgFlows = 12
+	}
+	return nil
+}
+
+// backgroundFlows builds the ordered pod-pair elephants at the given
+// fraction of link capacity.
+func (c *DiurnalConfig) backgroundFlows(frac float64) []flow.Flow {
+	ft := c.Planner.FT
+	k := ft.Cfg.K
+	hostsPerPod := len(ft.Hosts) / k
+	var out []flow.Flow
+	id := flow.ID(100000)
+	// One elephant per source host within each pod so access links are
+	// never the binding constraint.
+	for sp := 0; sp < k && len(out) < c.BgFlows; sp++ {
+		for dp := 0; dp < k && len(out) < c.BgFlows; dp++ {
+			if sp == dp {
+				continue
+			}
+			out = append(out, flow.Flow{
+				ID:        id,
+				Src:       ft.Hosts[sp*hostsPerPod+dp%hostsPerPod],
+				Dst:       ft.Hosts[dp*hostsPerPod+sp%hostsPerPod],
+				DemandBps: frac * ft.Cfg.LinkCapacityBps,
+				Class:     flow.Background,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// queryFlows builds the aggregated latency-sensitive pair demand for the
+// search workload at the given utilization (matching
+// cluster.QueryDemandBps: aggregate request+reply bytes per pair).
+func (c *DiurnalConfig) queryFlows(util float64) []flow.Flow {
+	ft := c.Planner.FT
+	hosts := ft.Hosts
+	// Queries/second producing this per-ISN utilization with the default
+	// 4 ms mean service time on 12 cores; each query touches every ISN,
+	// so the cluster query rate equals the per-server sub-query rate.
+	qps := util * 12 / 4e-3
+	perPair := qps / float64(len(hosts)) * (1500 + 6000) * 8
+	var out []flow.Flow
+	for i := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			out = append(out, flow.Flow{
+				ID:        flow.ID(i*len(hosts) + j),
+				Src:       hosts[i],
+				Dst:       hosts[j],
+				DemandBps: perPair,
+				Class:     flow.LatencySensitive,
+			})
+		}
+	}
+	return out
+}
+
+// RunDiurnal executes the 24-hour sweep.
+func RunDiurnal(cfg DiurnalConfig) (*DiurnalResult, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	p := cfg.Planner
+	res := &DiurnalResult{
+		EPRONS:     DiurnalSeries{Name: "EPRONS"},
+		TimeTrader: DiurnalSeries{Name: "TimeTrader"},
+		NoPM:       DiurnalSeries{Name: "no power management"},
+	}
+	fullPower := topology.NewActiveSet(p.FT.Graph).NetworkPowerW()
+
+	var plan *Plan
+	nextPlanAt := 0.0
+	for t := 0.0; t < cfg.DurationS; t += cfg.StepS {
+		load := cfg.SearchTrace.At(t)
+		bg := cfg.BgTrace.At(t)
+		util := cfg.PeakUtil * load
+		res.Times = append(res.Times, t)
+		res.SearchLoad = append(res.SearchLoad, load)
+		res.BgLoad = append(res.BgLoad, bg)
+
+		flows := append(cfg.queryFlows(util), cfg.backgroundFlows(bg)...)
+
+		// EPRONS re-plans every optimization period using the demand at
+		// that instant (the controller's predictor view).
+		if t >= nextPlanAt || plan == nil {
+			newPlan, err := p.PlanK(flows, util)
+			if err == nil {
+				plan = newPlan
+			}
+			// On infeasibility keep the previous plan (controller
+			// semantics); if there has never been one, fall back to the
+			// full topology.
+			if plan == nil {
+				fullPlan, ferr := p.FullTopologyPlan(flows, util)
+				if ferr != nil {
+					return nil, fmt.Errorf("core: no feasible initial plan: %v / %v", err, ferr)
+				}
+				plan = fullPlan
+			}
+			nextPlanAt = t + cfg.OptimizePeriodS
+		}
+		// Between plans the network stays as-is; server power follows the
+		// instantaneous utilization with the plan's slack.
+		effBudget := p.Cfg.ServerBudget + plan.SlackS
+		cpu, ok := p.Table.Lookup(util, effBudget)
+		if !ok {
+			cpu, _ = p.Table.Lookup(util, p.Cfg.ServerBudget)
+		}
+		epronsServer := float64(p.Cfg.NumServers) * (cpu + power.ServerStaticW)
+		res.EPRONS.NetW.Add(t, plan.NetworkPowerW)
+		res.EPRONS.ServerW.Add(t, epronsServer)
+		res.EPRONS.TotalW.Add(t, plan.NetworkPowerW+epronsServer)
+
+		// TimeTrader: full topology (no DCN power management); server
+		// power from its own feedback-trained table at the plain server
+		// budget plus the generous full-topology slack.
+		ttBudget := p.Cfg.ServerBudget + p.Cfg.NetworkBudget*p.Cfg.RequestBudgetFrac
+		ttCPU, ok := cfg.TimeTraderTable.Lookup(util, ttBudget)
+		if !ok {
+			ttCPU, _ = cfg.TimeTraderTable.Lookup(util, p.Cfg.ServerBudget)
+		}
+		ttServer := float64(p.Cfg.NumServers) * (ttCPU + power.ServerStaticW)
+		res.TimeTrader.NetW.Add(t, fullPower)
+		res.TimeTrader.ServerW.Add(t, ttServer)
+		res.TimeTrader.TotalW.Add(t, fullPower+ttServer)
+
+		// No power management: full topology, max frequency.
+		npCPU, _ := cfg.MaxFreqTable.Lookup(util, p.Cfg.ServerBudget)
+		npServer := float64(p.Cfg.NumServers) * (npCPU + power.ServerStaticW)
+		res.NoPM.NetW.Add(t, fullPower)
+		res.NoPM.ServerW.Add(t, npServer)
+		res.NoPM.TotalW.Add(t, fullPower+npServer)
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"eprons/internal/controller"
+	"eprons/internal/workload"
+)
+
+func TestSystemValidation(t *testing.T) {
+	tb := trainSmall(t, nil)
+	if _, err := NewSystem(SystemConfig{}, tb); err == nil {
+		t.Fatal("missing rate functions accepted")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	tb := trainSmall(t, nil)
+	ctrlCfg := controller.DefaultConfig()
+	ctrlCfg.OptimizePeriod = 5 // re-plan fast so the test sees multiple rounds
+	sys, err := NewSystem(SystemConfig{
+		CoreCfg:        DefaultConfig(),
+		ServiceCfg:     workload.DefaultServiceConfig(),
+		CoresPerServer: 2,
+		QueryRate:      func(t float64) float64 { return 40 },
+		BgFraction:     func(t float64) float64 { return 0.20 },
+		NumBgFlows:     4,
+		ControllerCfg:  ctrlCfg,
+		Seed:           3,
+	}, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2)
+	sys.MarkWarmup() // exclude cold-start from power accounting
+	sys.Run(12)
+	sys.Stop()
+	rep := sys.Report()
+	if rep.Queries < 200 {
+		t.Fatalf("only %d queries", rep.Queries)
+	}
+	if rep.MissRate > 0.12 {
+		t.Fatalf("miss rate %.3f", rep.MissRate)
+	}
+	if rep.ActiveSwitch >= 20 || rep.ActiveSwitch == 0 {
+		t.Fatalf("active switches %d — consolidation did not engage", rep.ActiveSwitch)
+	}
+	if rep.NetworkPowerW <= 0 || rep.ServerPowerW <= 0 {
+		t.Fatalf("degenerate power report %+v", rep)
+	}
+	if rep.TotalPowerW != rep.NetworkPowerW+rep.ServerPowerW {
+		t.Fatal("report power split inconsistent")
+	}
+	// The consolidated network must burn less than the full topology.
+	if rep.NetworkPowerW >= 20*36 {
+		t.Fatalf("network power %.0fW not below full topology", rep.NetworkPowerW)
+	}
+	if sys.Controller.Applied < 2 {
+		t.Fatalf("controller applied %d plans", sys.Controller.Applied)
+	}
+	// Queries must not be dropped once routes are installed.
+	if ds := sys.Cluster.Stats().DroppedSub; ds > rep.Queries/10 {
+		t.Fatalf("%d dropped sub-queries", ds)
+	}
+}
+
+func TestSystemPolicyVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	tb := trainSmall(t, nil)
+	for _, name := range []string{"rubik", "rubik+", "timetrader", "maxfreq"} {
+		sys, err := NewSystem(SystemConfig{
+			CoreCfg:        DefaultConfig(),
+			ServiceCfg:     workload.DefaultServiceConfig(),
+			CoresPerServer: 2,
+			PolicyName:     name,
+			QueryRate:      func(t float64) float64 { return 20 },
+			BgFraction:     func(t float64) float64 { return 0.10 },
+			Seed:           5,
+		}, tb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sys.Start(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sys.Run(3)
+		sys.Stop()
+		if sys.Cluster.Stats().Queries == 0 {
+			t.Fatalf("%s: no queries completed", name)
+		}
+	}
+}

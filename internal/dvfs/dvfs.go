@@ -1,0 +1,340 @@
+// Package dvfs implements the per-request frequency-selection policies the
+// paper evaluates (§III, §V-B2):
+//
+//   - EPRONS-Server: pick the lowest frequency whose AVERAGE deadline
+//     violation probability (VP) over all queued requests meets the SLA
+//     (95th-percentile tail ⇒ 5% VP budget), with EDF ordering and
+//     network slack folded into each request's deadline. The paper's
+//     contribution.
+//   - Rubik: the prior state of the art — lowest frequency whose MAXIMUM
+//     per-request VP meets the SLA, fixed server-budget deadlines only.
+//   - Rubik+: Rubik extended with the measured per-request network slack
+//     (the paper's fair-comparison variant).
+//   - TimeTrader: a 5-second feedback loop stepping frequency against the
+//     observed tail latency.
+//   - MaxFreq: no power management.
+//
+// The statistical machinery follows §III-B/C: an "equivalent request" for
+// the i-th queued request is the convolution of the service distribution of
+// everything ahead of it; its VP at frequency f is the CCDF of that
+// convolution at ω(D) = (D − now)/s(f) base-seconds, where s(f) is the
+// DVFS stretch factor. Convolution powers of the base distribution are
+// precomputed once and reused (the paper's FFT-and-reuse optimization), so
+// a decision costs O(queue × |remaining-work support|).
+package dvfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eprons/internal/dist"
+	"eprons/internal/metrics"
+	"eprons/internal/power"
+	"eprons/internal/server"
+)
+
+// Model holds the base service-time distribution (at fmax) and cached
+// convolution powers with their CCDF tables.
+type Model struct {
+	Base  *dist.Discrete
+	Alpha float64
+	FMax  float64
+
+	selfConv []*dist.Discrete // selfConv[i] = i-fold convolution of Base; [0] unused
+	tails    [][]float64      // tails[i][j] = P(selfConv[i] > j·step)
+}
+
+// NewModel builds a model around the base distribution.
+func NewModel(base *dist.Discrete, alpha, fmax float64) (*Model, error) {
+	if base == nil {
+		return nil, fmt.Errorf("dvfs: nil base distribution")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("dvfs: alpha %g out of [0,1]", alpha)
+	}
+	if fmax <= 0 {
+		return nil, fmt.Errorf("dvfs: fmax %g", fmax)
+	}
+	m := &Model{Base: base, Alpha: alpha, FMax: fmax}
+	m.selfConv = []*dist.Discrete{nil, base.Clone()}
+	m.tails = [][]float64{nil, tailTable(base)}
+	return m, nil
+}
+
+func tailTable(d *dist.Discrete) []float64 {
+	t := make([]float64, len(d.P))
+	acc := 0.0
+	for j := len(d.P) - 1; j >= 0; j-- {
+		t[j] = acc // P(X > j·step) excludes the mass at j
+		acc += d.P[j]
+	}
+	return t
+}
+
+// tailAt evaluates a precomputed tail table at x (same convention as
+// dist.CCDF).
+func tailAt(step float64, tails []float64, x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	idx := int(math.Floor(x/step + 1e-9))
+	if idx >= len(tails) {
+		return 0
+	}
+	return tails[idx]
+}
+
+// ensure extends the cached convolution powers to depth k.
+func (m *Model) ensure(k int) {
+	for len(m.selfConv) <= k {
+		next := m.selfConv[len(m.selfConv)-1].Convolve(m.Base)
+		m.selfConv = append(m.selfConv, next)
+		m.tails = append(m.tails, tailTable(next))
+	}
+}
+
+// TailCCDF returns P(S₁+…+S_k > x) for k i.i.d. base service times.
+func (m *Model) TailCCDF(k int, x float64) float64 {
+	if k <= 0 {
+		if x < 0 {
+			return 1
+		}
+		return 0
+	}
+	m.ensure(k)
+	return tailAt(m.Base.Step, m.tails[k], x)
+}
+
+// VP returns P(prefix + S₁+…+S_k > omega) where prefix is the
+// remaining-work distribution of the in-service request (nil for an idle
+// core). This is the violation probability of the k-th queued "equivalent
+// request" at the work bound omega (in base seconds).
+func (m *Model) VP(prefix *dist.Discrete, k int, omega float64) float64 {
+	if prefix == nil {
+		return m.TailCCDF(k, omega)
+	}
+	if k <= 0 {
+		return prefix.CCDF(omega)
+	}
+	m.ensure(k)
+	tails := m.tails[k]
+	step := m.Base.Step
+	p := 0.0
+	for i, mass := range prefix.P {
+		if mass == 0 {
+			continue
+		}
+		p += mass * tailAt(step, tails, omega-float64(i)*step)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Stretch returns s(f) for the model's α and fmax.
+func (m *Model) Stretch(f float64) float64 {
+	return server.Stretch(m.Alpha, m.FMax, f)
+}
+
+// Aggregate selects how per-request VPs combine into the decision metric.
+type Aggregate int
+
+// Aggregation modes.
+const (
+	// MaxVP is the conservative prior-work rule (Rubik): every request
+	// individually meets the SLA.
+	MaxVP Aggregate = iota
+	// AvgVP is the EPRONS-Server rule: the average VP — and therefore the
+	// overall tail — meets the SLA, letting some requests exceed it when
+	// others are comfortably early.
+	AvgVP
+)
+
+// ModelPolicy is the statistical-model family (EPRONS-Server, Rubik,
+// Rubik+), differing in aggregation, slack use and queue ordering.
+type ModelPolicy struct {
+	name string
+	m    *Model
+	// TargetVP is the SLA miss budget (0.05 for a 95th-percentile SLA).
+	TargetVP float64
+	Agg      Aggregate
+	UseSlack bool
+	EDF      bool
+	grid     []float64
+	// decisions counts OnDecision calls (introspection for tests).
+	decisions int64
+}
+
+// NewEPRONSServer returns the paper's policy: average VP, slack-aware, EDF.
+func NewEPRONSServer(m *Model, targetVP float64) *ModelPolicy {
+	return &ModelPolicy{name: "eprons-server", m: m, TargetVP: targetVP, Agg: AvgVP, UseSlack: true, EDF: true, grid: power.FreqGrid()}
+}
+
+// NewRubik returns the Rubik baseline: max VP, server budget only.
+func NewRubik(m *Model, targetVP float64) *ModelPolicy {
+	return &ModelPolicy{name: "rubik", m: m, TargetVP: targetVP, Agg: MaxVP, UseSlack: false, EDF: false, grid: power.FreqGrid()}
+}
+
+// NewRubikPlus returns the network-slack-aware Rubik variant.
+func NewRubikPlus(m *Model, targetVP float64) *ModelPolicy {
+	return &ModelPolicy{name: "rubik+", m: m, TargetVP: targetVP, Agg: MaxVP, UseSlack: true, EDF: false, grid: power.FreqGrid()}
+}
+
+// NewModelPolicy builds a custom variant (used by ablation benches).
+func NewModelPolicy(name string, m *Model, targetVP float64, agg Aggregate, useSlack, edf bool) *ModelPolicy {
+	return &ModelPolicy{name: name, m: m, TargetVP: targetVP, Agg: agg, UseSlack: useSlack, EDF: edf, grid: power.FreqGrid()}
+}
+
+// Name implements server.Policy.
+func (p *ModelPolicy) Name() string { return p.name }
+
+func (p *ModelPolicy) deadline(r *server.Request) float64 {
+	if p.UseSlack {
+		return r.SlackDeadline
+	}
+	return r.ServerDeadline
+}
+
+// OnDecision implements server.Policy.
+func (p *ModelPolicy) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
+	p.decisions++
+	if cur == nil && len(queue) == 0 {
+		return power.FMinGHz
+	}
+	if p.EDF && len(queue) > 1 {
+		sort.SliceStable(queue, func(i, j int) bool {
+			return p.deadline(queue[i]) < p.deadline(queue[j])
+		})
+	}
+	var prefix *dist.Discrete
+	if cur != nil {
+		prefix = p.m.Base.Remaining(cur.WorkDoneBase())
+	}
+
+	metric := func(f float64) float64 {
+		s := p.m.Stretch(f)
+		worst, sum, n := 0.0, 0.0, 0
+		if cur != nil {
+			omega := (p.deadline(cur) - now) / s
+			vp := prefix.CCDF(omega)
+			worst = math.Max(worst, vp)
+			sum += vp
+			n++
+		}
+		for i, r := range queue {
+			omega := (p.deadline(r) - now) / s
+			vp := p.m.VP(prefix, i+1, omega)
+			worst = math.Max(worst, vp)
+			sum += vp
+			n++
+		}
+		if p.Agg == MaxVP {
+			return worst
+		}
+		return sum / float64(n)
+	}
+
+	// VP is non-increasing in frequency: binary search the grid for the
+	// slowest frequency meeting the target (§III-C's binary search).
+	idx := sort.Search(len(p.grid), func(i int) bool {
+		return metric(p.grid[i]) <= p.TargetVP
+	})
+	if idx == len(p.grid) {
+		return p.grid[len(p.grid)-1]
+	}
+	return p.grid[idx]
+}
+
+// OnComplete implements server.Policy (no feedback needed).
+func (p *ModelPolicy) OnComplete(now float64, r *server.Request) {}
+
+// Decisions returns how many decisions the policy has made.
+func (p *ModelPolicy) Decisions() int64 { return p.decisions }
+
+// TimeTrader is the feedback baseline: every Period seconds it compares the
+// windowed 95th-percentile of the ratio (observed server latency / allowed
+// latency) to 1 and steps the frequency one grid notch up or down. The
+// allowed latency is per-request (server budget plus network slack), which
+// is the network-signal awareness of the original system in simplified
+// form.
+type TimeTrader struct {
+	// Period is the adjustment interval (paper: 5 s).
+	Period float64
+	// Headroom is the ratio below which frequency steps down (default 0.9).
+	Headroom float64
+	// Quantile of the ratio window compared against 1 (default 0.95).
+	Quantile float64
+
+	window     *metrics.Window
+	freqIdx    int
+	lastAdjust float64
+	grid       []float64
+}
+
+// NewTimeTrader returns the policy with the paper's 5-second period.
+func NewTimeTrader() *TimeTrader {
+	grid := power.FreqGrid()
+	return &TimeTrader{
+		Period:   5,
+		Headroom: 0.9,
+		Quantile: 0.95,
+		window:   metrics.NewWindow(2 * 5),
+		freqIdx:  len(grid) - 1,
+		grid:     grid,
+	}
+}
+
+// Name implements server.Policy.
+func (t *TimeTrader) Name() string { return "timetrader" }
+
+// OnDecision implements server.Policy.
+func (t *TimeTrader) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
+	if now-t.lastAdjust >= t.Period {
+		t.lastAdjust = now
+		if t.window.Count() > 0 {
+			ratio := t.window.Quantile(t.Quantile)
+			switch {
+			case ratio > 1 && t.freqIdx < len(t.grid)-1:
+				t.freqIdx++
+			case ratio < t.Headroom && t.freqIdx > 0:
+				t.freqIdx--
+			}
+		}
+	}
+	return t.grid[t.freqIdx]
+}
+
+// OnComplete implements server.Policy.
+func (t *TimeTrader) OnComplete(now float64, r *server.Request) {
+	allowed := r.SlackDeadline - r.Arrival
+	if allowed <= 0 {
+		return
+	}
+	t.window.Add(now, (now-r.Arrival)/allowed)
+}
+
+// MaxFreq is the no-power-management baseline.
+type MaxFreq struct{}
+
+// NewMaxFreq returns the baseline policy.
+func NewMaxFreq() MaxFreq { return MaxFreq{} }
+
+// Name implements server.Policy.
+func (MaxFreq) Name() string { return "maxfreq" }
+
+// OnDecision implements server.Policy.
+func (MaxFreq) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
+	return power.FMaxGHz
+}
+
+// OnComplete implements server.Policy.
+func (MaxFreq) OnComplete(now float64, r *server.Request) {}
+
+// Compile-time interface checks.
+var (
+	_ server.Policy = (*ModelPolicy)(nil)
+	_ server.Policy = (*TimeTrader)(nil)
+	_ server.Policy = MaxFreq{}
+)

@@ -1,0 +1,34 @@
+package dvfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"eprons/internal/dist"
+	"eprons/internal/dvfs"
+	"eprons/internal/power"
+	"eprons/internal/server"
+)
+
+// Build the statistical model from a service-time distribution and watch
+// EPRONS-Server pick the average-VP frequency for a queue of requests.
+func ExampleNewEPRONSServer() {
+	// A deterministic 2 ms service time keeps the arithmetic visible.
+	base := dist.Point(1e-4, 2e-3)
+	model, err := dvfs.NewModel(base, 1.0, power.FMaxGHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := dvfs.NewEPRONSServer(model, 0.05)
+
+	queue := []*server.Request{
+		{ID: 1, Arrival: 0, BaseServiceS: 2e-3, SlackDeadline: 6e-3, ServerDeadline: 6e-3},
+		{ID: 2, Arrival: 0, BaseServiceS: 2e-3, SlackDeadline: 40e-3, ServerDeadline: 40e-3},
+	}
+	// The tight request alone needs 2 ms of work in 6 ms → stretch 3 →
+	// 0.9 GHz would do, clamped up to the 1.2 GHz grid floor.
+	f := policy.OnDecision(0, nil, queue)
+	fmt.Printf("chosen frequency: %.1f GHz\n", f)
+	// Output:
+	// chosen frequency: 1.2 GHz
+}

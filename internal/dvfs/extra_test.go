@@ -1,0 +1,156 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+
+	"eprons/internal/dist"
+	"eprons/internal/power"
+	"eprons/internal/server"
+	"eprons/internal/sim"
+)
+
+func TestDecisionsCounter(t *testing.T) {
+	p := NewEPRONSServer(uniformModel(t), 0.05)
+	if p.Decisions() != 0 {
+		t.Fatal("fresh policy has decisions")
+	}
+	p.OnDecision(0, nil, []*server.Request{mkReq(1, 0, 2e-3, 10e-3, 10e-3)})
+	p.OnDecision(0, nil, nil)
+	if p.Decisions() != 2 {
+		t.Fatalf("decisions %d", p.Decisions())
+	}
+}
+
+// capture wraps a policy and records what it saw and returned per
+// decision.
+type capture struct {
+	inner     server.Policy
+	workDones []float64
+	freqs     []float64
+}
+
+func (c *capture) Name() string { return "capture" }
+func (c *capture) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
+	if cur != nil {
+		c.workDones = append(c.workDones, cur.WorkDoneBase())
+	}
+	f := c.inner.OnDecision(now, cur, queue)
+	c.freqs = append(c.freqs, f)
+	return f
+}
+func (c *capture) OnComplete(now float64, r *server.Request) { c.inner.OnComplete(now, r) }
+
+func TestInServiceRequestUsesRemainingWork(t *testing.T) {
+	// A 4 ms (base) request with a 6 ms deadline starts at 1.8 GHz
+	// (stretch 1.5 just meets the point-mass deadline). After 2 ms of
+	// wall time an arrival forces a decision: 2/1.5 = 1.333 ms of base
+	// work is done, 2.667 ms remain with 4 ms to the deadline → stretch
+	// 1.5 again → Rubik stays at 1.8 GHz. If the policy wrongly used the
+	// FULL distribution instead of the remaining work, 4 ms of work in
+	// 4 ms would force fmax.
+	m := pointModel(t, 4e-3)
+	cap := &capture{inner: NewRubik(m, 0.05)}
+	eng := sim.New()
+	srv, err := server.New(eng, server.Config{Cores: 1, Alpha: 1.0, FMaxGHz: power.FMaxGHz,
+		PolicyFactory: func(int) server.Policy { return cap }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &server.Request{ID: 1, Arrival: 0, BaseServiceS: 4e-3, ServerDeadline: 6e-3, SlackDeadline: 6e-3}
+	srv.Enqueue(r) // decision 1: deadline 6ms, work 4ms → fmax
+	// A negligible second request arrives at 2 ms (loose deadline so it
+	// does not dominate the max-VP decision).
+	eng.Schedule(2e-3, func() {
+		srv.Enqueue(&server.Request{ID: 2, Arrival: 2e-3, BaseServiceS: 1e-4, ServerDeadline: 1, SlackDeadline: 1})
+	})
+	eng.RunAll()
+	if len(cap.workDones) == 0 {
+		t.Fatal("no in-service decision observed")
+	}
+	if math.Abs(cap.workDones[0]-2e-3/1.5) > 1e-9 {
+		t.Fatalf("work done at arrival %g, want %g", cap.workDones[0], 2e-3/1.5)
+	}
+	// Lattice rounding may bump remaining work 2.667→2.7 ms (one step),
+	// allowing 1.9 GHz; anything near fmax would mean the policy ignored
+	// the work already done.
+	if len(cap.freqs) < 2 || cap.freqs[1] < 1.8-1e-9 || cap.freqs[1] > 1.9+1e-9 {
+		t.Fatalf("in-service decisions %v, want second in [1.8, 1.9] (remaining work only)", cap.freqs)
+	}
+}
+
+// fixedAt is a minimal inline policy for driving the server in tests.
+type fixedAt struct{ f float64 }
+
+func (p fixedAt) Name() string { return "fixed" }
+func (p fixedAt) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
+	return p.f
+}
+func (p fixedAt) OnComplete(now float64, r *server.Request) {}
+
+func TestModelDeepQueue(t *testing.T) {
+	m := uniformModel(t)
+	// Force deep convolution powers; mass must stay normalized and the
+	// mean must scale linearly with depth.
+	for k := 1; k <= 24; k++ {
+		m.ensure(k)
+	}
+	d := m.selfConv[24]
+	total := 0.0
+	for _, v := range d.P {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("24-fold convolution mass %g", total)
+	}
+	if math.Abs(d.Mean()-24*m.Base.Mean()) > 24*m.Base.Step {
+		t.Fatalf("24-fold mean %g, want %g", d.Mean(), 24*m.Base.Mean())
+	}
+}
+
+func TestEDFChangesCompletionOrder(t *testing.T) {
+	// Two requests with inverted deadline order: EDF (EPRONS) finishes
+	// the tight-deadline one first; FIFO (Rubik) keeps arrival order.
+	run := func(policy server.Policy) []int64 {
+		eng := sim.New()
+		srv, err := server.New(eng, server.Config{Cores: 1, Alpha: 0.9, FMaxGHz: power.FMaxGHz,
+			PolicyFactory: func(int) server.Policy { return policy }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []int64
+		srv.OnComplete = func(r *server.Request, at float64) { order = append(order, r.ID) }
+		// A long request occupies the core so both arrivals queue.
+		srv.Enqueue(&server.Request{ID: 0, Arrival: 0, BaseServiceS: 3e-3, ServerDeadline: 1, SlackDeadline: 1})
+		srv.Enqueue(&server.Request{ID: 1, Arrival: 0, BaseServiceS: 2e-3, ServerDeadline: 1, SlackDeadline: 0.9})
+		srv.Enqueue(&server.Request{ID: 2, Arrival: 0, BaseServiceS: 2e-3, ServerDeadline: 1, SlackDeadline: 0.1})
+		eng.RunAll()
+		return order
+	}
+	m1 := uniformModel(t)
+	edf := run(NewEPRONSServer(m1, 0.05))
+	if edf[1] != 2 || edf[2] != 1 {
+		t.Fatalf("EDF order %v, want tight deadline (2) before loose (1)", edf)
+	}
+	m2 := uniformModel(t)
+	fifo := run(NewRubik(m2, 0.05))
+	if fifo[1] != 1 || fifo[2] != 2 {
+		t.Fatalf("FIFO order %v", fifo)
+	}
+}
+
+func TestVPWithRebinnedPrefix(t *testing.T) {
+	// Remaining-work prefixes on the model's lattice interoperate with the
+	// convolution tails regardless of prefix length.
+	m := uniformModel(t)
+	for _, w := range []float64{0, 0.5e-3, 1.5e-3, 3.5e-3} {
+		prefix := m.Base.Remaining(w)
+		for k := 0; k <= 3; k++ {
+			vp := m.VP(prefix, k, 5e-3)
+			if vp < 0 || vp > 1 {
+				t.Fatalf("VP out of range: %g (w=%g k=%d)", vp, w, k)
+			}
+		}
+	}
+	_ = dist.Point // keep import if refactors drop other uses
+}

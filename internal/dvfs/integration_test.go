@@ -1,0 +1,194 @@
+package dvfs
+
+import (
+	"testing"
+
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/server"
+	"eprons/internal/sim"
+	"eprons/internal/workload"
+)
+
+// runPolicy simulates one 4-core server under Poisson arrivals at the given
+// utilization with per-request network slack, returning average CPU power
+// and the stats. This is a miniature of the Fig 12 experiments.
+func runPolicy(t testing.TB, factory func(int) server.Policy, util, serverBudget, slackMax, duration float64) (float64, *server.Stats) {
+	t.Helper()
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	cores := 4
+	srv, err := server.New(eng, server.Config{Cores: cores, Alpha: 0.9, FMaxGHz: power.FMaxGHz, PolicyFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := workload.NewSampler(base, 77)
+	arrivals := rng.Derive(99, "arrivals")
+	slackStream := rng.Derive(99, "slack")
+	rate := server.RateForUtilization(util, cores, base.Mean())
+	var id int64
+	var arrive func()
+	arrive = func() {
+		now := eng.Now()
+		slack := slackStream.Uniform(0.5*slackMax, slackMax)
+		id++
+		srv.Enqueue(&server.Request{
+			ID:             id,
+			Arrival:        now,
+			BaseServiceS:   sampler.Draw(),
+			ServerDeadline: now + serverBudget,
+			SlackDeadline:  now + serverBudget + slack,
+		})
+		if now < duration {
+			eng.After(arrivals.Exp(1/rate), arrive)
+		}
+	}
+	eng.After(arrivals.Exp(1/rate), arrive)
+	eng.Run(duration * 1.2)
+	eng.RunAll()
+	end := eng.Now()
+	return srv.CPUPowerW(0, end), srv.Stats()
+}
+
+// TestPolicyPowerOrdering reproduces the Fig 12(a) ordering at 30%
+// utilization with a 25 ms server budget and up to 5 ms network slack:
+// EPRONS-Server <= Rubik+ <= Rubik <= MaxFreq in CPU power.
+func TestPolicyPowerOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ms server budget + up to 5 ms network slack puts the policies in
+	// the regime where frequency choice matters (Fig 12(b)'s 18–25 ms
+	// total-constraint region).
+	const util, budget, slack, dur = 0.30, 10e-3, 5e-3, 25.0
+	mk := func(build func() server.Policy) func(int) server.Policy {
+		return func(int) server.Policy { return build() }
+	}
+	model := func() *Model {
+		m, err := NewModel(base, 0.9, power.FMaxGHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	pEprons, stEprons := runPolicy(t, mk(func() server.Policy { return NewEPRONSServer(model(), 0.05) }), util, budget, slack, dur)
+	pRubikP, stRubikP := runPolicy(t, mk(func() server.Policy { return NewRubikPlus(model(), 0.05) }), util, budget, slack, dur)
+	pRubik, stRubik := runPolicy(t, mk(func() server.Policy { return NewRubik(model(), 0.05) }), util, budget, slack, dur)
+	pMax, stMax := runPolicy(t, mk(func() server.Policy { return NewMaxFreq() }), util, budget, slack, dur)
+
+	t.Logf("power: eprons=%.2f rubik+=%.2f rubik=%.2f max=%.2f", pEprons, pRubikP, pRubik, pMax)
+	t.Logf("slack-miss: eprons=%.3f rubik+=%.3f rubik=%.3f max=%.3f",
+		stEprons.MissRate(), stRubikP.MissRate(), stRubik.MissRate(), stMax.MissRate())
+
+	if pEprons > pRubikP*1.02 {
+		t.Fatalf("EPRONS power %.2f exceeds Rubik+ %.2f", pEprons, pRubikP)
+	}
+	if pRubikP > pRubik*1.02 {
+		t.Fatalf("Rubik+ power %.2f exceeds Rubik %.2f", pRubikP, pRubik)
+	}
+	if pRubik > pMax*1.02 {
+		t.Fatalf("Rubik power %.2f exceeds MaxFreq %.2f", pRubik, pMax)
+	}
+	// EPRONS must deliver a real saving over the no-PM baseline and a
+	// visible one over slack-blind Rubik (the Fig 12 separations).
+	if pEprons > 0.8*pMax {
+		t.Fatalf("EPRONS saves too little: %.2f vs max %.2f", pEprons, pMax)
+	}
+	if pEprons > 0.92*pRubik {
+		t.Fatalf("EPRONS %.2f not clearly below Rubik %.2f", pEprons, pRubik)
+	}
+
+	// SLA: the overall tail (slack-deadline miss rate) stays near the 5%
+	// budget for every model policy. Allow simulation noise.
+	for name, st := range map[string]*server.Stats{"eprons": stEprons, "rubik+": stRubikP} {
+		if mr := st.MissRate(); mr > 0.09 {
+			t.Fatalf("%s slack miss rate %.3f exceeds budget", name, mr)
+		}
+	}
+	// Rubik guarantees the server-budget deadline instead.
+	if mr := stRubik.ServerMissRate(); mr > 0.09 {
+		t.Fatalf("rubik server miss rate %.3f", mr)
+	}
+}
+
+// TestUtilizationSweepMonotone checks that EPRONS-Server power grows with
+// load (the Fig 12(a) x-axis direction).
+func TestUtilizationSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, util := range []float64{0.1, 0.3, 0.5} {
+		m, err := NewModel(base, 0.9, power.FMaxGHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := runPolicy(t, func(int) server.Policy { return NewEPRONSServer(m, 0.05) }, util, 25e-3, 5e-3, 15)
+		if i > 0 && p < prev {
+			t.Fatalf("power decreased with load: %.2f -> %.2f at util %.1f", prev, p, util)
+		}
+		prev = p
+	}
+}
+
+// TestConstraintSweep checks the Fig 12(b) direction: a looser latency
+// constraint never costs more power.
+func TestConstraintSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []float64{15e-3, 25e-3, 40e-3}
+	var powers []float64
+	for _, b := range budgets {
+		m, err := NewModel(base, 0.9, power.FMaxGHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := runPolicy(t, func(int) server.Policy { return NewEPRONSServer(m, 0.05) }, 0.3, b, 5e-3, 15)
+		powers = append(powers, p)
+	}
+	if powers[2] > powers[0]*1.05 {
+		t.Fatalf("loosest budget costs more than tightest: %v", powers)
+	}
+}
+
+func BenchmarkEPRONSDecision(b *testing.B) {
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(base, 0.9, power.FMaxGHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewEPRONSServer(m, 0.05)
+	var q []*server.Request
+	for i := 0; i < 8; i++ {
+		q = append(q, mkReqB(int64(i), 0, 4e-3, 25e-3+float64(i)*1e-3))
+	}
+	cur := mkReqB(99, 0, 4e-3, 20e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnDecision(0, cur, q)
+	}
+}
+
+func mkReqB(id int64, arrival, base, dl float64) *server.Request {
+	return &server.Request{ID: id, Arrival: arrival, BaseServiceS: base, ServerDeadline: dl, SlackDeadline: dl}
+}

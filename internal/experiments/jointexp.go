@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"time"
+
+	"eprons/internal/consolidate"
+	"eprons/internal/core"
+	"eprons/internal/dvfs"
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/milp"
+	"eprons/internal/netmodel"
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/server"
+	"eprons/internal/workload"
+)
+
+// TrainTables trains the three server power tables (EPRONS, TimeTrader,
+// MaxFreq) used by the joint experiments. quick shrinks the grid and
+// durations for tests/benches.
+func TrainTables(quick bool) (eprons, timetrader, maxfreq *core.ServerPowerTable, err error) {
+	mk := func(policy func(m *dvfs.Model) server.Policy, dur, warmup float64) (*core.ServerPowerTable, error) {
+		cfg := core.DefaultTrainConfig()
+		cfg.Policy = policy
+		cfg.Duration = dur
+		cfg.WarmupS = warmup
+		if quick {
+			cfg.Cores = 4
+			cfg.Utils = []float64{0.10, 0.30, 0.50}
+			cfg.Budgets = []float64{8e-3, 12e-3, 20e-3, 30e-3}
+			if warmup == 0 {
+				cfg.Duration = dur / 3
+			}
+		}
+		return core.TrainServerPowerTable(cfg)
+	}
+	eprons, err = mk(func(m *dvfs.Model) server.Policy { return dvfs.NewEPRONSServer(m, 0.05) }, 20, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// TimeTrader's 5-second feedback loop starts at fmax and steps one
+	// notch per period: give it 100 s to settle and measure afterwards.
+	timetrader, err = mk(func(m *dvfs.Model) server.Policy { return dvfs.NewTimeTrader() }, 160, 100)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	maxfreq, err = mk(func(m *dvfs.Model) server.Policy { return dvfs.NewMaxFreq() }, 10, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eprons, timetrader, maxfreq, nil
+}
+
+// TrainNetTable measures the 95th-percentile query network latency per
+// scale factor K at each background level with the packet simulator and
+// returns it as a netmodel.Trained table — the paper's §IV-A latency
+// training ("we use a portion of the application queries to train our
+// model"). Assign the result to Planner.TrainedNet to plan from measured
+// rather than analytic latencies.
+func TrainNetTable(ks []int, bgUtils []float64, cfg NetLatencyConfig) (*netmodel.Trained, error) {
+	rows, err := Fig11ScaleFactor(ks, bgUtils, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := netmodel.NewTrained()
+	for _, r := range rows {
+		if !r.Feasible {
+			continue
+		}
+		tr.Add(r.K, r.BgUtil, r.P95S)
+	}
+	return tr, nil
+}
+
+// Fig13Row is one (background, aggregation, constraint) total-power cell.
+type Fig13Row struct {
+	BgUtil      float64
+	Level       int
+	ConstraintS float64
+	TotalW      float64
+	Feasible    bool
+}
+
+// Fig13JointPower reproduces the total-system-power curves: for each
+// background level and aggregation policy, sweep the request tail-latency
+// constraint and model total power at 30% server utilization (like the
+// paper, results are scaled through the trained models).
+func Fig13JointPower(table *core.ServerPowerTable, bgUtils []float64, constraints []float64) ([]Fig13Row, error) {
+	return Fig13JointPowerScaled(table, bgUtils, constraints, 1)
+}
+
+// Fig13JointPowerScaled is Fig13JointPower with a network-latency scale
+// calibration (netScale ≈ 25 matches the paper's MiniNet-measured
+// magnitudes and reproduces the Fig 13 feasibility boundaries and
+// aggregation-2-vs-3 inversion; 1 = clean-simulator scale).
+func Fig13JointPowerScaled(table *core.ServerPowerTable, bgUtils []float64, constraints []float64, netScale float64) ([]Fig13Row, error) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.NetLatencyScale = netScale
+	planner, err := core.NewPlanner(cfg, ft, table)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig13Row
+	for _, bg := range bgUtils {
+		flows := jointFlows(ft, 0.30, bg)
+		for level := 0; level < ft.NumAggregationPolicies(); level++ {
+			for _, c := range constraints {
+				plan, err := planner.PlanAggregation(flows, 0.30, level, c)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig13Row{
+					BgUtil:      bg,
+					Level:       level,
+					ConstraintS: c,
+					TotalW:      plan.TotalPowerW,
+					Feasible:    plan.Feasible,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// jointFlows builds the combined query + background demand set at a server
+// utilization and background fraction.
+func jointFlows(ft *fattree.FatTree, util, bg float64) []flow.Flow {
+	hosts := ft.Hosts
+	qps := util * 12 / 4e-3
+	perPair := qps / float64(len(hosts)) * (1500 + 6000) * 8
+	var out []flow.Flow
+	for i := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			out = append(out, flow.Flow{
+				ID:  flow.ID(i*len(hosts) + j),
+				Src: hosts[i], Dst: hosts[j],
+				DemandBps: perPair, Class: flow.LatencySensitive,
+			})
+		}
+	}
+	k := ft.Cfg.K
+	hostsPerPod := len(hosts) / k
+	id := flow.ID(100000)
+	// One elephant per source host within each pod (access links must not
+	// be the bottleneck).
+	for sp := 0; sp < k; sp++ {
+		for dp := 0; dp < k; dp++ {
+			if sp == dp {
+				continue
+			}
+			out = append(out, flow.Flow{
+				ID:        id,
+				Src:       hosts[sp*hostsPerPod+dp%hostsPerPod],
+				Dst:       hosts[dp*hostsPerPod+sp%hostsPerPod],
+				DemandBps: bg * ft.Cfg.LinkCapacityBps, Class: flow.Background,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// Fig14Traces samples the diurnal search-load and background curves at n
+// points over 24 h.
+func Fig14Traces(n int) (times, search, bg []float64) {
+	st := workload.SearchLoadTrace()
+	bt := workload.BackgroundTrace()
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n) * workload.Day
+		times = append(times, t)
+		search = append(search, st.At(t))
+		bg = append(bg, bt.At(t))
+	}
+	return times, search, bg
+}
+
+// Fig15Summary condenses the diurnal run into the paper's headline
+// numbers.
+type Fig15Summary struct {
+	Result           *core.DiurnalResult
+	EPRONSAvgSaving  float64
+	EPRONSPeakSaving float64
+	TTAvgSaving      float64
+	TTPeakSaving     float64
+	ServerAvgEPRONS  float64
+	ServerAvgTT      float64
+	NetAvgEPRONS     float64
+}
+
+// Fig15Diurnal runs the 24-hour joint experiment and summarizes savings
+// against the no-power-management baseline.
+func Fig15Diurnal(eprons, timetrader, maxfreq *core.ServerPowerTable, stepS float64) (*Fig15Summary, error) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(core.DefaultConfig(), ft, eprons)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunDiurnal(core.DiurnalConfig{
+		Planner:         planner,
+		TimeTraderTable: timetrader,
+		MaxFreqTable:    maxfreq,
+		SearchTrace:     workload.SearchLoadTrace(),
+		BgTrace:         workload.BackgroundTrace(),
+		PeakUtil:        0.5,
+		StepS:           stepS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig15Summary{
+		Result:           res,
+		EPRONSAvgSaving:  core.AvgSaving(&res.EPRONS.TotalW, &res.NoPM.TotalW),
+		EPRONSPeakSaving: core.MaxSaving(&res.EPRONS.TotalW, &res.NoPM.TotalW),
+		TTAvgSaving:      core.AvgSaving(&res.TimeTrader.TotalW, &res.NoPM.TotalW),
+		TTPeakSaving:     core.MaxSaving(&res.TimeTrader.TotalW, &res.NoPM.TotalW),
+		ServerAvgEPRONS:  core.AvgSaving(&res.EPRONS.ServerW, &res.NoPM.ServerW),
+		ServerAvgTT:      core.AvgSaving(&res.TimeTrader.ServerW, &res.NoPM.ServerW),
+		NetAvgEPRONS:     core.AvgSaving(&res.EPRONS.NetW, &res.NoPM.NetW),
+	}, nil
+}
+
+// HeuristicVsExactRow compares the greedy consolidator against the MILP on
+// one random instance (the ablation DESIGN.md calls out).
+type HeuristicVsExactRow struct {
+	Flows          int
+	GreedySwitches int
+	ExactSwitches  int
+	GreedyPowerW   float64
+	ExactPowerW    float64
+	GreedyDur      time.Duration
+	ExactDur       time.Duration
+	ExactOptimal   bool
+}
+
+// AblationHeuristicVsExact runs both solvers on random flow sets of the
+// given sizes. maxNodes bounds the branch-and-bound search (0 = 1500); a
+// node-limited run may return a worse-than-greedy incumbent, reflected in
+// ExactOptimal=false.
+func AblationHeuristicVsExact(sizes []int, seed int64, maxNodes int) ([]HeuristicVsExactRow, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1500
+	}
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	stream := rng.Derive(seed, "heur-vs-exact")
+	var out []HeuristicVsExactRow
+	for _, n := range sizes {
+		var flows []flow.Flow
+		for i := 0; i < n; i++ {
+			src := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			dst := ft.Hosts[stream.Intn(len(ft.Hosts))]
+			if src == dst {
+				continue
+			}
+			class := flow.LatencySensitive
+			demand := 10e6 + stream.Float64()*40e6
+			if stream.Intn(3) == 0 {
+				class = flow.Background
+				demand = 100e6 + stream.Float64()*300e6
+			}
+			flows = append(flows, flow.Flow{ID: flow.ID(i), Src: src, Dst: dst, DemandBps: demand, Class: class})
+		}
+		cfg := consolidate.Config{ScaleK: 2, SafetyMarginBps: 50e6}
+		t0 := time.Now()
+		greedy, err := consolidate.Greedy(ft, flows, cfg)
+		gDur := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		exact, err := consolidate.Exact(ft, flows, cfg, milp.Options{MaxNodes: maxNodes})
+		eDur := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		row := HeuristicVsExactRow{Flows: len(flows), GreedyDur: gDur, ExactDur: eDur, ExactOptimal: exact.Optimal}
+		if greedy.Feasible {
+			row.GreedySwitches = greedy.Active.ActiveSwitches()
+			row.GreedyPowerW = greedy.NetworkPowerW
+		}
+		if exact.Feasible {
+			row.ExactSwitches = exact.Active.ActiveSwitches()
+			row.ExactPowerW = exact.NetworkPowerW
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AblationAvgVsMax compares EPRONS's average-VP aggregation (with and
+// without EDF) against max-VP at one operating point, isolating the two
+// design choices.
+type AblationPolicyRow struct {
+	Variant   string
+	CPUPowerW float64
+	MissRate  float64
+}
+
+// AblationAvgVsMaxVP runs the four combinations of {avg,max} × {EDF,FIFO}.
+func AblationAvgVsMaxVP(util, totalConstraint float64, cfg ServerExpConfig) ([]AblationPolicyRow, error) {
+	base, err := workload.ServiceDist(cfg.ServiceCfg)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		agg  dvfs.Aggregate
+		edf  bool
+	}{
+		{"max-vp fifo (rubik+)", dvfs.MaxVP, false},
+		{"max-vp edf", dvfs.MaxVP, true},
+		{"avg-vp fifo", dvfs.AvgVP, false},
+		{"avg-vp edf (eprons)", dvfs.AvgVP, true},
+	}
+	var out []AblationPolicyRow
+	for _, v := range variants {
+		v := v
+		saveName := PolicyName("ablation-" + v.name)
+		point, err := runServerPointWith(saveName, util, totalConstraint, cfg, func() (server.Policy, error) {
+			m, err := dvfs.NewModel(base, cfg.Alpha, power.FMaxGHz)
+			if err != nil {
+				return nil, err
+			}
+			return dvfs.NewModelPolicy(v.name, m, cfg.TargetVP, v.agg, true, v.edf), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPolicyRow{Variant: v.name, CPUPowerW: point.CPUPowerW, MissRate: point.MissRate})
+	}
+	return out, nil
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"eprons/internal/cluster"
+	"eprons/internal/consolidate"
+	"eprons/internal/dvfs"
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/metrics"
+	"eprons/internal/netsim"
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/server"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+	"eprons/internal/workload"
+)
+
+// KneePoint is one Fig 1 measurement.
+type KneePoint struct {
+	Utilization float64
+	MeanS       float64
+	P95S        float64
+	P99S        float64
+}
+
+// Fig01Knee measures query latency on a single bottleneck link as
+// background utilization sweeps — the utilization-latency knee that
+// motivates latency-aware consolidation. durationS seconds are simulated
+// per point.
+func Fig01Knee(utils []float64, durationS float64, seed int64) ([]KneePoint, error) {
+	var out []KneePoint
+	for i, u := range utils {
+		g := topology.NewGraph()
+		h0 := g.AddNode("h0", topology.Host, 0)
+		sw := g.AddNode("sw", topology.EdgeSwitch, 36)
+		h1 := g.AddNode("h1", topology.Host, 0)
+		if _, err := g.AddLink(h0, sw, 1e9, 0); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddLink(sw, h1, 1e9, 0); err != nil {
+			return nil, err
+		}
+		eng := sim.New()
+		net := netsim.New(eng, g, netsim.DefaultConfig())
+		path := topology.Path{h0, sw, h1}
+		if err := net.SetRoute(1, path); err != nil {
+			return nil, err
+		}
+		if err := net.SetRoute(2, path); err != nil {
+			return nil, err
+		}
+		bg := net.StartBackground(2, func() float64 { return u * 1e9 }, rng.Derive(seed, fmt.Sprintf("knee-bg-%d", i)))
+		var tr metrics.Tracker
+		qs := rng.Derive(seed, fmt.Sprintf("knee-q-%d", i))
+		var send func()
+		send = func() {
+			net.SendMessage(1, 1500, func(l float64) { tr.Add(l) }, nil)
+			if eng.Now() < durationS {
+				eng.After(qs.Exp(400e-6), send)
+			}
+		}
+		eng.After(1e-3, send)
+		eng.Run(durationS)
+		bg.Stop()
+		out = append(out, KneePoint{
+			Utilization: u,
+			MeanS:       tr.Mean(),
+			P95S:        tr.Quantile(0.95),
+			P99S:        tr.Quantile(0.99),
+		})
+	}
+	return out, nil
+}
+
+// Fig02Row describes one scale factor's placement in the Fig 2 demo.
+type Fig02Row struct {
+	K              float64
+	ActiveSwitches int
+	SharedWithBig  int // latency-sensitive flows sharing a link with the elephant
+	Feasible       bool
+}
+
+// Fig02ScaleDemo reproduces the worked example: a 900 Mbps elephant plus
+// two 20 Mbps latency-sensitive flows under K = 1, 2, 3.
+func Fig02ScaleDemo() ([]Fig02Row, *fattree.FatTree, map[float64]*consolidate.Result, error) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	flows := []flow.Flow{
+		{ID: 0, Src: ft.Hosts[1], Dst: ft.Hosts[5], DemandBps: 900e6, Class: flow.Background},
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[4], DemandBps: 20e6, Class: flow.LatencySensitive},
+		{ID: 2, Src: ft.Hosts[2], Dst: ft.Hosts[6], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+	var rows []Fig02Row
+	results := map[float64]*consolidate.Result{}
+	for _, k := range []float64{1, 2, 3} {
+		res, err := consolidate.Greedy(ft, flows, consolidate.Config{ScaleK: k, SafetyMarginBps: 50e6})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		results[k] = res
+		row := Fig02Row{K: k, Feasible: res.Feasible, ActiveSwitches: res.Active.ActiveSwitches()}
+		ele := map[topology.LinkID]bool{}
+		if p, ok := res.Paths[0]; ok {
+			for _, l := range p.Links(ft.Graph) {
+				ele[l] = true
+			}
+		}
+		for _, id := range []flow.ID{1, 2} {
+			if p, ok := res.Paths[id]; ok {
+				for _, l := range p.Links(ft.Graph) {
+					if ele[l] {
+						row.SharedWithBig++
+						break
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, ft, results, nil
+}
+
+// Fig08Point is one switch power sample.
+type Fig08Point struct {
+	Utilization float64
+	PowerW      float64
+}
+
+// Fig08SwitchPower evaluates the measured HPE curve — flat to within 0.6%.
+func Fig08SwitchPower() []Fig08Point {
+	var out []Fig08Point
+	for u := 0.0; u <= 1.0001; u += 0.1 {
+		out = append(out, Fig08Point{Utilization: u, PowerW: power.HPESwitchW(u)})
+	}
+	return out
+}
+
+// Fig09Row summarizes one aggregation policy.
+type Fig09Row struct {
+	Level          int
+	ActiveSwitches int
+	ActiveLinks    int
+	NetworkPowerW  float64
+	Connected      bool
+}
+
+// Fig09Policies enumerates the four consolidation levels of the 4-ary
+// fat-tree.
+func Fig09Policies() ([]Fig09Row, error) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig09Row
+	for j := 0; j < ft.NumAggregationPolicies(); j++ {
+		a := ft.AggregationPolicy(j)
+		out = append(out, Fig09Row{
+			Level:          j,
+			ActiveSwitches: a.ActiveSwitches(),
+			ActiveLinks:    a.ActiveLinks(),
+			NetworkPowerW:  a.NetworkPowerW(),
+			Connected:      a.HostsConnected(),
+		})
+	}
+	return out, nil
+}
+
+// NetLatencyConfig drives the Fig 10 / Fig 11 network experiments.
+type NetLatencyConfig struct {
+	// DurationS of packet simulation per configuration (default 3).
+	DurationS float64
+	// QueryRate in queries/s (default 40).
+	QueryRate float64
+	// QueryReserveBps is the per-pair bandwidth reservation used when
+	// placing query flows (default 10 Mbps). Search traffic is bursty:
+	// the paper reserves the 90th-percentile rate, far above the mean, so
+	// the scale factor K has leverage even though the average query
+	// demand is small (the 20 Mbps flows of Fig 2).
+	QueryReserveBps float64
+	Seed            int64
+}
+
+func (c *NetLatencyConfig) fill() {
+	if c.DurationS <= 0 {
+		c.DurationS = 3
+	}
+	if c.QueryRate <= 0 {
+		c.QueryRate = 40
+	}
+	if c.QueryReserveBps <= 0 {
+		c.QueryReserveBps = 10e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ErrInfeasible reports that a flow set could not be placed at the
+// requested operating point (expected for large K at high background).
+var ErrInfeasible = errors.New("placement infeasible")
+
+// Fig10Row is one (aggregation, background) latency measurement.
+type Fig10Row struct {
+	Level   int
+	BgUtil  float64
+	MeanS   float64
+	P95S    float64
+	P99S    float64
+	Dropped int
+}
+
+// measureNetwork runs the search cluster over a given active set with
+// all-to-all pod background flows at bgUtil, returning request network
+// latency statistics.
+func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil float64, cfg NetLatencyConfig, balance bool, scaleK float64) (*cluster.Stats, int, error) {
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	clCfg := cluster.DefaultConfig(d, func(host, core int) server.Policy { return dvfs.NewMaxFreq() })
+	clCfg.CoresPerServer = 2
+	cl, err := cluster.New(net, ft.Hosts, clCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Background: all ordered pod pairs.
+	var bgFlows []flow.Flow
+	fid := flow.ID(50000)
+	k := ft.Cfg.K
+	hostsPerPod := len(ft.Hosts) / k
+	// Spread each pod's elephants across its hosts so access links are
+	// not the bottleneck (one elephant per source host).
+	for sp := 0; sp < k; sp++ {
+		for dp := 0; dp < k; dp++ {
+			if sp == dp {
+				continue
+			}
+			bgFlows = append(bgFlows, flow.Flow{
+				ID:        fid,
+				Src:       ft.Hosts[sp*hostsPerPod+dp%hostsPerPod],
+				Dst:       ft.Hosts[dp*hostsPerPod+sp%hostsPerPod],
+				DemandBps: bgUtil * ft.Cfg.LinkCapacityBps, Class: flow.Background,
+			})
+			fid++
+		}
+	}
+	// Query pair flows participate in placement so consolidation sees
+	// them (Fig 11's K applies to them). The reservation is the bursty
+	// 90th-percentile demand, not the mean.
+	reserve := cl.QueryDemandBps(cfg.QueryRate)
+	if reserve < cfg.QueryReserveBps {
+		reserve = cfg.QueryReserveBps
+	}
+	queryFlows := cl.PairFlows(reserve)
+	all := append(queryFlows, bgFlows...)
+
+	ccfg := consolidate.Config{ScaleK: scaleK, SafetyMarginBps: 50e6, Restrict: active}
+	var placed *consolidate.Result
+	if balance {
+		placed, err = consolidate.Balance(ft, all, ccfg)
+	} else {
+		placed, err = consolidate.Greedy(ft, all, ccfg)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if !placed.Feasible {
+		return nil, 0, fmt.Errorf("%w (%d unplaced)", ErrInfeasible, len(placed.Unplaced))
+	}
+	if active != nil {
+		net.SetActive(active)
+	} else {
+		net.SetActive(placed.Active)
+	}
+	if err := net.InstallRoutes(placed.Paths); err != nil {
+		return nil, 0, err
+	}
+
+	var bgs []*netsim.Background
+	for i, f := range bgFlows {
+		f := f
+		bgs = append(bgs, net.StartBackground(f.ID, func() float64 { return f.DemandBps },
+			rng.Derive(cfg.Seed, fmt.Sprintf("bg-%d", i))))
+	}
+	sampler := workload.NewSampler(d, cfg.Seed+5)
+	stop := cl.StartPoisson(func() float64 { return cfg.QueryRate }, sampler.Draw, cfg.Seed+11)
+	eng.Run(cfg.DurationS)
+	stop()
+	for _, b := range bgs {
+		b.Stop()
+	}
+	eng.Run(cfg.DurationS + 0.5)
+	return cl.Stats(), placed.Active.ActiveSwitches(), nil
+}
+
+// Fig10AggregationLatency sweeps aggregation level × background traffic
+// and reports query network latency (the Fig 10(a)/(b) series).
+func Fig10AggregationLatency(levels []int, bgUtils []float64, cfg NetLatencyConfig) ([]Fig10Row, error) {
+	// Fixed-policy routing places by mean query demand: the burst
+	// reservation is the scale-factor experiment's concern (Fig 11) and
+	// would make deep aggregation artificially infeasible here.
+	if cfg.QueryReserveBps == 0 {
+		cfg.QueryReserveBps = 1
+	}
+	cfg.fill()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig10Row
+	for _, level := range levels {
+		active := ft.AggregationPolicy(level)
+		for _, bg := range bgUtils {
+			st, _, err := measureNetwork(active, ft, bg, cfg, true, 1)
+			if err != nil {
+				return nil, fmt.Errorf("level %d bg %.2f: %w", level, bg, err)
+			}
+			out = append(out, Fig10Row{
+				Level:  level,
+				BgUtil: bg,
+				MeanS:  st.NetReqLat.Mean(),
+				P95S:   st.NetReqLat.Quantile(0.95),
+				P99S:   st.NetReqLat.Quantile(0.99),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig11Row is one (K, background) operating point.
+type Fig11Row struct {
+	K              int
+	BgUtil         float64
+	P95S           float64
+	ActiveSwitches int
+	Feasible       bool
+}
+
+// Fig11ScaleFactor sweeps the scale factor K under consolidation (no fixed
+// policy): larger K activates more switches and lowers tail latency — the
+// Fig 11(a)/(b)/(c) trade-off.
+func Fig11ScaleFactor(ks []int, bgUtils []float64, cfg NetLatencyConfig) ([]Fig11Row, error) {
+	cfg.fill()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Row
+	for _, bg := range bgUtils {
+		for _, k := range ks {
+			st, switches, err := measureNetwork(nil, ft, bg, cfg, false, float64(k))
+			if errors.Is(err, ErrInfeasible) {
+				out = append(out, Fig11Row{K: k, BgUtil: bg})
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("K=%d bg %.2f: %w", k, bg, err)
+			}
+			out = append(out, Fig11Row{
+				K:              k,
+				BgUtil:         bg,
+				P95S:           st.NetReqLat.Quantile(0.95),
+				ActiveSwitches: switches,
+				Feasible:       true,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d)=%d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		orig[i] = x[i]
+	}
+	Transform(x, false)
+	Transform(x, true)
+	for i := range x {
+		if math.Abs(real(x[i])-real(orig[i])) > 1e-9 || math.Abs(imag(x[i])-imag(orig[i])) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestTransformKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := []complex128{1, 0, 0, 0}
+	Transform(x, false)
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("impulse FFT[%d]=%v, want 1", i, v)
+		}
+	}
+}
+
+func TestTransformPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform(make([]complex128, 6), false)
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{4, 5})
+	want := []float64{4, 13, 22, 15}
+	if !almostEqual(got, want, 1e-9) {
+		t.Fatalf("conv = %v, want %v", got, want)
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil || Convolve([]float64{1}, nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+	if ConvolveDirect(nil, []float64{1}) != nil {
+		t.Fatal("empty input must give nil (direct)")
+	}
+}
+
+func TestConvolveLargeMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := make([]float64, 300)
+	b := make([]float64, 257)
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	fast := Convolve(a, b) // len product > 4096 → FFT path
+	slow := ConvolveDirect(a, b)
+	if !almostEqual(fast, slow, 1e-8) {
+		t.Fatal("FFT convolution disagrees with direct convolution")
+	}
+}
+
+// Property: convolution is commutative.
+func TestQuickConvolveCommutative(t *testing.T) {
+	f := func(a8, b8 []uint8) bool {
+		if len(a8) == 0 || len(b8) == 0 {
+			return true
+		}
+		a := make([]float64, len(a8))
+		b := make([]float64, len(b8))
+		for i, v := range a8 {
+			a[i] = float64(v) / 255
+		}
+		for i, v := range b8 {
+			b[i] = float64(v) / 255
+		}
+		return almostEqual(Convolve(a, b), Convolve(b, a), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total mass of a convolution is the product of the input masses
+// (convolution of PMFs preserves normalization).
+func TestQuickConvolveMass(t *testing.T) {
+	f := func(a8, b8 []uint8) bool {
+		if len(a8) == 0 || len(b8) == 0 {
+			return true
+		}
+		a := make([]float64, len(a8))
+		b := make([]float64, len(b8))
+		sa, sb := 0.0, 0.0
+		for i, v := range a8 {
+			a[i] = float64(v) / 255
+			sa += a[i]
+		}
+		for i, v := range b8 {
+			b[i] = float64(v) / 255
+			sb += b[i]
+		}
+		out := Convolve(a, b)
+		so := 0.0
+		for _, v := range out {
+			so += v
+		}
+		return math.Abs(so-sa*sb) <= 1e-6*(1+sa*sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConvolveFFT1024(b *testing.B) {
+	a := make([]float64, 1024)
+	c := make([]float64, 1024)
+	for i := range a {
+		a[i] = 1.0 / 1024
+		c[i] = 1.0 / 1024
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Convolve(a, c)
+	}
+}
+
+func BenchmarkConvolveDirect1024(b *testing.B) {
+	a := make([]float64, 1024)
+	c := make([]float64, 1024)
+	for i := range a {
+		a[i] = 1.0 / 1024
+		c[i] = 1.0 / 1024
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvolveDirect(a, c)
+	}
+}

@@ -1,0 +1,142 @@
+// Package flow models data-center traffic demands for consolidation: flow
+// descriptors with class and bandwidth demand, traffic matrices, and the
+// epoch-based demand predictor of paper §II (90th-percentile of the last
+// epoch's measured rates, plus a link-level safety margin applied by the
+// consolidator).
+package flow
+
+import (
+	"fmt"
+
+	"eprons/internal/dist"
+	"eprons/internal/topology"
+)
+
+// ID identifies a flow.
+type ID int
+
+// Class distinguishes the two traffic types the paper consolidates jointly.
+type Class int
+
+// Flow classes.
+const (
+	// LatencySensitive flows are search requests/replies; consolidation
+	// reserves K times their demand to control their latency.
+	LatencySensitive Class = iota
+	// Background flows are latency-tolerant "elephants"; only their
+	// measured demand is reserved.
+	Background
+)
+
+func (c Class) String() string {
+	if c == Background {
+		return "background"
+	}
+	return "latency-sensitive"
+}
+
+// Flow is a unidirectional traffic demand between two hosts.
+type Flow struct {
+	ID        ID
+	Src, Dst  topology.NodeID
+	DemandBps float64
+	Class     Class
+}
+
+// Validate rejects malformed flows.
+func (f Flow) Validate() error {
+	if f.Src == f.Dst {
+		return fmt.Errorf("flow %d: src == dst", f.ID)
+	}
+	if f.DemandBps < 0 {
+		return fmt.Errorf("flow %d: negative demand", f.ID)
+	}
+	return nil
+}
+
+// TotalDemand sums demand over flows, optionally filtered by class.
+func TotalDemand(flows []Flow, class Class, filter bool) float64 {
+	s := 0.0
+	for _, f := range flows {
+		if filter && f.Class != class {
+			continue
+		}
+		s += f.DemandBps
+	}
+	return s
+}
+
+// ByClass splits flows into latency-sensitive and background slices.
+func ByClass(flows []Flow) (sensitive, background []Flow) {
+	for _, f := range flows {
+		if f.Class == Background {
+			background = append(background, f)
+		} else {
+			sensitive = append(sensitive, f)
+		}
+	}
+	return sensitive, background
+}
+
+// Predictor implements the paper's demand prediction: the 90th-percentile
+// traffic rate observed during the previous epoch predicts a flow's demand
+// for the next epoch. Rates are recorded by the controller's periodic
+// stats pull (every 2 s in the paper).
+type Predictor struct {
+	// Quantile is the prediction quantile (paper: 0.90).
+	Quantile float64
+	samples  map[ID][]float64
+	last     map[ID]float64
+}
+
+// NewPredictor returns a predictor using the given quantile.
+func NewPredictor(quantile float64) *Predictor {
+	if quantile <= 0 || quantile > 1 {
+		panic(fmt.Sprintf("flow: quantile %g out of (0,1]", quantile))
+	}
+	return &Predictor{
+		Quantile: quantile,
+		samples:  make(map[ID][]float64),
+		last:     make(map[ID]float64),
+	}
+}
+
+// Record adds one measured rate sample for a flow in the current epoch.
+func (p *Predictor) Record(id ID, rateBps float64) {
+	if rateBps < 0 {
+		rateBps = 0
+	}
+	p.samples[id] = append(p.samples[id], rateBps)
+}
+
+// Roll closes the current epoch: predictions are computed from its samples
+// and the sample buffers reset for the next epoch.
+func (p *Predictor) Roll() {
+	for id, s := range p.samples {
+		if len(s) == 0 {
+			continue
+		}
+		p.last[id] = dist.Percentiles(s, p.Quantile)[0]
+		p.samples[id] = p.samples[id][:0]
+	}
+}
+
+// Predict returns the demand prediction for a flow: the quantile of the
+// last completed epoch, or fallback if the flow has no history yet.
+func (p *Predictor) Predict(id ID, fallback float64) float64 {
+	if v, ok := p.last[id]; ok {
+		return v
+	}
+	return fallback
+}
+
+// PredictFlows returns a copy of flows with DemandBps replaced by the
+// prediction (falling back to each flow's configured demand).
+func (p *Predictor) PredictFlows(flows []Flow) []Flow {
+	out := make([]Flow, len(flows))
+	for i, f := range flows {
+		f.DemandBps = p.Predict(f.ID, f.DemandBps)
+		out[i] = f
+	}
+	return out
+}

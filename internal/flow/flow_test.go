@@ -1,0 +1,125 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Flow{ID: 1, Src: 0, Dst: 0}).Validate(); err == nil {
+		t.Fatal("self flow accepted")
+	}
+	if err := (Flow{ID: 1, Src: 0, Dst: 1, DemandBps: -5}).Validate(); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if err := (Flow{ID: 1, Src: 0, Dst: 1, DemandBps: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalDemandAndByClass(t *testing.T) {
+	flows := []Flow{
+		{ID: 0, Src: 0, Dst: 1, DemandBps: 100, Class: Background},
+		{ID: 1, Src: 0, Dst: 2, DemandBps: 10, Class: LatencySensitive},
+		{ID: 2, Src: 1, Dst: 2, DemandBps: 20, Class: LatencySensitive},
+	}
+	if got := TotalDemand(flows, 0, false); got != 130 {
+		t.Fatalf("total %g", got)
+	}
+	if got := TotalDemand(flows, Background, true); got != 100 {
+		t.Fatalf("background %g", got)
+	}
+	s, b := ByClass(flows)
+	if len(s) != 2 || len(b) != 1 {
+		t.Fatalf("split %d/%d", len(s), len(b))
+	}
+}
+
+func TestPredictorQuantile(t *testing.T) {
+	p := NewPredictor(0.90)
+	// 10 samples 1..10 → 90th percentile (nearest rank) = 9.
+	for i := 1; i <= 10; i++ {
+		p.Record(1, float64(i))
+	}
+	p.Roll()
+	if got := p.Predict(1, 0); got != 9 {
+		t.Fatalf("prediction %g, want 9", got)
+	}
+}
+
+func TestPredictorFallbackAndNegativeClamp(t *testing.T) {
+	p := NewPredictor(0.9)
+	if got := p.Predict(7, 123); got != 123 {
+		t.Fatalf("fallback %g", got)
+	}
+	p.Record(7, -50)
+	p.Roll()
+	if got := p.Predict(7, 123); got != 0 {
+		t.Fatalf("clamped prediction %g, want 0", got)
+	}
+}
+
+func TestPredictorRollResetsEpoch(t *testing.T) {
+	p := NewPredictor(1.0)
+	p.Record(1, 100)
+	p.Roll()
+	p.Record(1, 5)
+	p.Roll()
+	if got := p.Predict(1, 0); got != 5 {
+		t.Fatalf("second epoch prediction %g, want 5", got)
+	}
+	// Empty epoch keeps the old prediction.
+	p.Roll()
+	if got := p.Predict(1, 0); got != 5 {
+		t.Fatalf("empty epoch prediction %g, want 5", got)
+	}
+}
+
+func TestPredictFlows(t *testing.T) {
+	p := NewPredictor(1.0)
+	p.Record(1, 42)
+	p.Roll()
+	flows := []Flow{{ID: 1, Src: 0, Dst: 1, DemandBps: 7}, {ID: 2, Src: 0, Dst: 2, DemandBps: 9}}
+	out := p.PredictFlows(flows)
+	if out[0].DemandBps != 42 || out[1].DemandBps != 9 {
+		t.Fatalf("predictions %v", out)
+	}
+	// Input untouched.
+	if flows[0].DemandBps != 7 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestNewPredictorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPredictor(0)
+}
+
+// Property: prediction is one of the recorded samples (nearest-rank
+// quantile) and never exceeds the max.
+func TestQuickPredictionWithinRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := NewPredictor(0.9)
+		max := 0.0
+		for _, r := range raw {
+			v := float64(r)
+			p.Record(3, v)
+			if v > max {
+				max = v
+			}
+		}
+		p.Roll()
+		got := p.Predict(3, -1)
+		return got >= 0 && got <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

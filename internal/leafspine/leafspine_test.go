@@ -1,0 +1,188 @@
+package leafspine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eprons/internal/consolidate"
+	"eprons/internal/flow"
+	"eprons/internal/milp"
+	"eprons/internal/topology"
+)
+
+// The fabric must satisfy the consolidator's topology contract.
+var _ consolidate.Fabric = (*LeafSpine)(nil)
+
+func build(t testing.TB) *LeafSpine {
+	t.Helper()
+	ls, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestStructure(t *testing.T) {
+	ls := build(t)
+	if len(ls.Hosts) != 16 || len(ls.Leaves) != 4 || len(ls.Spines) != 4 {
+		t.Fatalf("sizes %d/%d/%d", len(ls.Hosts), len(ls.Leaves), len(ls.Spines))
+	}
+	if ls.NumSwitches() != 8 {
+		t.Fatalf("switches %d", ls.NumSwitches())
+	}
+	// Links: 16 host + 4 leaves × 4 spines = 32.
+	if ls.Graph.NumLinks() != 32 {
+		t.Fatalf("links %d", ls.Graph.NumLinks())
+	}
+	if !topology.NewActiveSet(ls.Graph).HostsConnected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Leaves = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero leaves accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.LinkCapacityBps = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SwitchPowerW = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	ls := build(t)
+	// Same leaf: single 2-hop path.
+	same := ls.Paths(ls.Hosts[0], ls.Hosts[1])
+	if len(same) != 1 || len(same[0]) != 3 {
+		t.Fatalf("same-leaf paths %v", same)
+	}
+	// Cross leaf: one per spine, all valid and distinct.
+	cross := ls.Paths(ls.Hosts[0], ls.Hosts[5])
+	if len(cross) != 4 {
+		t.Fatalf("cross-leaf paths %d", len(cross))
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, p := range cross {
+		if !p.Valid(ls.Graph) || len(p) != 5 {
+			t.Fatalf("bad path %v", p)
+		}
+		if seen[p[2]] {
+			t.Fatal("duplicate spine")
+		}
+		seen[p[2]] = true
+	}
+	if ls.Paths(ls.Hosts[0], ls.Hosts[0]) != nil {
+		t.Fatal("self path")
+	}
+}
+
+func TestSpinePolicies(t *testing.T) {
+	ls := build(t)
+	want := []int{8, 7, 6, 5}
+	for j := 0; j < ls.NumSpinePolicies(); j++ {
+		a := ls.SpinePolicy(j)
+		if got := a.ActiveSwitches(); got != want[j] {
+			t.Fatalf("policy %d: %d switches, want %d", j, got, want[j])
+		}
+		if !a.HostsConnected() {
+			t.Fatalf("policy %d disconnects hosts", j)
+		}
+	}
+	if ls.SpinePolicy(99).ActiveSwitches() != 5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+// TestConsolidatorsWorkUnchanged is the §IV-B topology-independence claim:
+// the greedy, balanced and exact consolidators run on leaf-spine with no
+// adaptation.
+func TestConsolidatorsWorkUnchanged(t *testing.T) {
+	ls := build(t)
+	flows := []flow.Flow{
+		{ID: 0, Src: ls.Hosts[0], Dst: ls.Hosts[4], DemandBps: 900e6, Class: flow.Background},
+		{ID: 1, Src: ls.Hosts[1], Dst: ls.Hosts[5], DemandBps: 20e6, Class: flow.LatencySensitive},
+		{ID: 2, Src: ls.Hosts[2], Dst: ls.Hosts[6], DemandBps: 20e6, Class: flow.LatencySensitive},
+	}
+	for _, k := range []float64{1, 3} {
+		cfg := consolidate.Config{ScaleK: k, SafetyMarginBps: 50e6}
+		greedy, err := consolidate.Greedy(ls, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !greedy.Feasible {
+			t.Fatalf("K=%g greedy infeasible", k)
+		}
+		if err := consolidate.Verify(ls.Graph, flows, cfg, greedy); err != nil {
+			t.Fatal(err)
+		}
+		bal, err := consolidate.Balance(ls, flows, cfg)
+		if err != nil || !bal.Feasible {
+			t.Fatalf("K=%g balance: %v %v", k, err, bal.Feasible)
+		}
+	}
+	// Fig 2's mechanism on leaf-spine: K=1 shares the elephant spine,
+	// K=3 forces the sensitive flows off it.
+	share := func(k float64) int {
+		res, err := consolidate.Greedy(ls, flows, consolidate.Config{ScaleK: k, SafetyMarginBps: 50e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ele := res.Paths[0][2] // elephant's spine
+		n := 0
+		for _, id := range []flow.ID{1, 2} {
+			if res.Paths[id][2] == ele {
+				n++
+			}
+		}
+		return n
+	}
+	if share(1) != 2 {
+		t.Fatalf("K=1 sharing %d, want 2", share(1))
+	}
+	if share(3) != 0 {
+		t.Fatalf("K=3 sharing %d, want 0", share(3))
+	}
+	// Exact solver too.
+	exact, err := consolidate.Exact(ls, flows, consolidate.Config{ScaleK: 1, SafetyMarginBps: 50e6}, milp.Options{MaxNodes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Feasible {
+		t.Fatal("exact infeasible on leaf-spine")
+	}
+	greedy, _ := consolidate.Greedy(ls, flows, consolidate.Config{ScaleK: 1, SafetyMarginBps: 50e6})
+	if exact.Optimal && exact.Active.ActiveSwitches() > greedy.Active.ActiveSwitches() {
+		t.Fatalf("exact %d switches above greedy %d", exact.Active.ActiveSwitches(), greedy.Active.ActiveSwitches())
+	}
+}
+
+// Property: all cross-leaf traffic survives every spine policy (at least
+// one candidate path stays active).
+func TestQuickSpinePolicyReachability(t *testing.T) {
+	ls := build(t)
+	f := func(a, b, j8 uint8) bool {
+		src := ls.Hosts[int(a)%len(ls.Hosts)]
+		dst := ls.Hosts[int(b)%len(ls.Hosts)]
+		if src == dst {
+			return true
+		}
+		active := ls.SpinePolicy(int(j8) % ls.NumSpinePolicies())
+		for _, p := range ls.Paths(src, dst) {
+			if active.PathOn(p) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"eprons/internal/lp"
+)
+
+// Solve a small production-planning LP: maximize 3x + 5y (minimize the
+// negation) under resource limits.
+func ExampleSolve() {
+	p := lp.NewProblem(2)
+	p.SetObj(0, -3)
+	p.SetObj(1, -5)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 4)        // x <= 4
+	p.AddConstraint(map[int]float64{1: 2}, lp.LE, 12)       // 2y <= 12
+	p.AddConstraint(map[int]float64{0: 3, 1: 2}, lp.LE, 18) // 3x + 2y <= 18
+
+	s := lp.Solve(p)
+	fmt.Printf("status: %v\n", s.Status)
+	fmt.Printf("x = %.0f, y = %.0f\n", s.X[0], s.X[1])
+	fmt.Printf("max objective: %.0f\n", -s.Objective)
+	// Output:
+	// status: optimal
+	// x = 2, y = 6
+	// max objective: 36
+}

@@ -1,0 +1,441 @@
+// Package lp implements a two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {<=,=,>=} b_i   for each constraint i
+//	            0 <= x_j             for each variable j
+//
+// The paper solves its traffic-consolidation model (eq. 2–9) with CPLEX;
+// this package is the stdlib-only replacement. It uses a dense tableau with
+// Dantzig pricing and a Bland's-rule fallback for anti-cycling, which is
+// robust and fast enough for the path-based consolidation formulations on
+// fat-tree topologies (hundreds of variables and constraints).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // a·x <= b
+	GE            // a·x >= b
+	EQ            // a·x == b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "?"
+}
+
+// constraint stores a dense row.
+type constraint struct {
+	coeffs []float64
+	rel    Rel
+	rhs    float64
+}
+
+// Problem is a linear program under construction. Create with NewProblem,
+// then set objective coefficients and add constraints.
+type Problem struct {
+	n    int
+	obj  []float64
+	rows []constraint
+}
+
+// NewProblem returns an LP with n non-negative variables and an all-zero
+// objective.
+func NewProblem(n int) *Problem {
+	if n <= 0 {
+		panic("lp: need at least one variable")
+	}
+	return &Problem{n: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// Clone returns a deep copy of the problem; the branch-and-bound solver
+// clones a node's LP before adding branching constraints.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{n: p.n, obj: make([]float64, p.n)}
+	copy(q.obj, p.obj)
+	q.rows = make([]constraint, len(p.rows))
+	for i, r := range p.rows {
+		coeffs := make([]float64, len(r.coeffs))
+		copy(coeffs, r.coeffs)
+		q.rows[i] = constraint{coeffs: coeffs, rel: r.rel, rhs: r.rhs}
+	}
+	return q
+}
+
+// Objective returns the objective coefficient of variable j.
+func (p *Problem) Objective(j int) float64 { return p.obj[j] }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObj sets the objective coefficient of variable j.
+func (p *Problem) SetObj(j int, c float64) {
+	p.obj[j] = c
+}
+
+// AddConstraint adds the row Σ coeffs[j]·x_j rel rhs. coeffs maps variable
+// index to coefficient; absent variables have coefficient zero.
+func (p *Problem) AddConstraint(coeffs map[int]float64, rel Rel, rhs float64) {
+	row := make([]float64, p.n)
+	for j, v := range coeffs {
+		if j < 0 || j >= p.n {
+			panic(fmt.Sprintf("lp: variable index %d out of range [0,%d)", j, p.n))
+		}
+		row[j] = v
+	}
+	p.rows = append(p.rows, constraint{coeffs: row, rel: rel, rhs: rhs})
+}
+
+// AddDense adds a constraint with a dense coefficient slice of length
+// NumVars.
+func (p *Problem) AddDense(coeffs []float64, rel Rel, rhs float64) {
+	if len(coeffs) != p.n {
+		panic("lp: dense row length mismatch")
+	}
+	row := make([]float64, p.n)
+	copy(row, coeffs)
+	p.rows = append(p.rows, constraint{coeffs: row, rel: rel, rhs: rhs})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const (
+	eps     = 1e-9
+	maxIter = 200000
+	// blandAfter switches from Dantzig pricing to Bland's rule once a
+	// solve has run long enough to suspect cycling.
+	blandAfter = 5000
+)
+
+// tableau is the dense working representation.
+type tableau struct {
+	m, n  int         // constraint rows, total columns (structural+slack+artificial)
+	a     [][]float64 // m x n
+	b     []float64   // m
+	cost  []float64   // n, current phase objective
+	basis []int       // m, column index basic in each row
+	art   []bool      // n, column is artificial
+	iters int
+}
+
+// Solve runs two-phase simplex.
+func Solve(p *Problem) Solution {
+	m := len(p.rows)
+	if m == 0 {
+		// Unconstrained non-negative minimization: x=0 unless some c<0,
+		// in which case the LP is unbounded.
+		for _, c := range p.obj {
+			if c < -eps {
+				return Solution{Status: Unbounded}
+			}
+		}
+		return Solution{Status: Optimal, X: make([]float64, p.n)}
+	}
+
+	// Count auxiliary columns: one slack/surplus per inequality, one
+	// artificial per GE/EQ row (and per LE row with negative rhs after
+	// normalization — handled by normalizing signs first).
+	type rowKind struct {
+		rel Rel
+		neg bool
+	}
+	kinds := make([]rowKind, m)
+	nSlack, nArt := 0, 0
+	for i, r := range p.rows {
+		rel, rhs := r.rel, r.rhs
+		neg := rhs < 0
+		if neg {
+			// Multiply row by -1 so rhs >= 0; flips LE<->GE.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel: rel, neg: neg}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	total := p.n + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     total,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		cost:  make([]float64, total),
+		basis: make([]int, m),
+		art:   make([]bool, total),
+	}
+	slackCol := p.n
+	artCol := p.n + nSlack
+	for i, r := range p.rows {
+		row := make([]float64, total)
+		sign := 1.0
+		rhs := r.rhs
+		if kinds[i].neg {
+			sign = -1
+			rhs = -rhs
+		}
+		for j, v := range r.coeffs {
+			row[j] = sign * v
+		}
+		switch kinds[i].rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.art[artCol] = true
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.art[artCol] = true
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+		t.b[i] = rhs
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		for j := range t.cost {
+			if t.art[j] {
+				t.cost[j] = 1
+			} else {
+				t.cost[j] = 0
+			}
+		}
+		status := t.run(nil)
+		if status != Optimal {
+			return Solution{Status: Infeasible, Iterations: t.iters}
+		}
+		if t.objective() > 1e-7 {
+			return Solution{Status: Infeasible, Iterations: t.iters}
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: original objective, artificials barred from entering.
+	for j := range t.cost {
+		if j < p.n {
+			t.cost[j] = p.obj[j]
+		} else {
+			t.cost[j] = 0
+		}
+	}
+	status := t.run(t.art)
+	x := make([]float64, p.n)
+	for i, bj := range t.basis {
+		if bj < p.n {
+			x[bj] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return Solution{Status: status, X: x, Objective: obj, Iterations: t.iters}
+}
+
+// objective returns c_B·b for the current phase cost vector.
+func (t *tableau) objective() float64 {
+	z := 0.0
+	for i, bj := range t.basis {
+		z += t.cost[bj] * t.b[i]
+	}
+	return z
+}
+
+// reducedCosts computes r_j = c_j - c_B·(B^-1 A)_j for all columns. Since
+// t.a already stores B^-1 A (the tableau is kept in solved form), this is a
+// single pass over the matrix.
+func (t *tableau) reducedCosts(r []float64) {
+	for j := 0; j < t.n; j++ {
+		r[j] = t.cost[j]
+	}
+	for i, bj := range t.basis {
+		cb := t.cost[bj]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			r[j] -= cb * row[j]
+		}
+	}
+}
+
+// run performs simplex pivots until optimality, unboundedness or the
+// iteration cap. barred marks columns that may not enter (nil for none).
+func (t *tableau) run(barred []bool) Status {
+	r := make([]float64, t.n)
+	localIters := 0
+	for {
+		if t.iters >= maxIter {
+			return IterLimit
+		}
+		t.reducedCosts(r)
+		enter := -1
+		if localIters < blandAfter {
+			// Dantzig: most negative reduced cost.
+			best := -eps
+			for j := 0; j < t.n; j++ {
+				if barred != nil && barred[j] {
+					continue
+				}
+				if r[j] < best {
+					best = r[j]
+					enter = j
+				}
+			}
+		} else {
+			// Bland: smallest index with negative reduced cost.
+			for j := 0; j < t.n; j++ {
+				if barred != nil && barred[j] {
+					continue
+				}
+				if r[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		t.iters++
+		localIters++
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	rowL := t.a[leave]
+	for j := 0; j < t.n; j++ {
+		rowL[j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			row[j] -= f * rowL[j]
+		}
+		t.b[i] -= f * t.b[leave]
+		if math.Abs(t.b[i]) < 1e-12 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots basic artificial variables (at value zero
+// after a feasible phase 1) out of the basis where possible so that phase 2
+// starts from a clean basis. Rows that cannot be pivoted are redundant and
+// left in place (their artificial stays basic at zero; it is barred from
+// re-entering).
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if !t.art[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			if t.art[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

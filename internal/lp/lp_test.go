@@ -1,0 +1,276 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2 → x=2(?) check:
+	// maximize x+2y: best y=2, then x<=min(3, 4-2)=2 → obj -(2+4)=-6.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-6)) > 1e-7 {
+		t.Fatalf("objective %g, want -6", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-7 || math.Abs(s.X[1]-2) > 1e-7 {
+		t.Fatalf("x = %v, want [2 2]", s.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + y s.t. x + y = 5, x - y = 1 → x=3, y=2, obj 5.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 1)
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-7 || math.Abs(s.X[1]-2) > 1e-7 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 → y=8? obj candidates:
+	// all-x: x=10 → 20; mixed: since 2<3 prefer x → x=10,y=0, obj 20.
+	p := NewProblem(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 10)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-20) > 1e-7 {
+		t.Fatalf("objective %g, want 20", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleNegativeRHS(t *testing.T) {
+	// x <= -1 with x >= 0 is infeasible; exercises the rhs-normalization
+	// path (LE with negative rhs becomes GE).
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, LE, -1)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// -x <= -3  ⇔  x >= 3; min x → 3.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.AddConstraint(map[int]float64{0: -1}, LE, -3)
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-7 {
+		t.Fatalf("x=%v, want 3", s.X)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, -1)
+	p.AddConstraint(map[int]float64{0: -1}, LE, 0) // no upper bound on x
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	s := Solve(p)
+	if s.Status != Optimal || s.X[0] != 0 || s.X[1] != 0 {
+		t.Fatalf("solution %v", s)
+	}
+	p2 := NewProblem(1)
+	p2.SetObj(0, -1)
+	if s := Solve(p2); s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP (Beale-like structure) — must terminate.
+	p := NewProblem(4)
+	p.SetObj(0, -0.75)
+	p.SetObj(1, 150)
+	p.SetObj(2, -0.02)
+	p.SetObj(3, 6)
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective %g, want -0.05", s.Objective)
+	}
+}
+
+func TestAddDense(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.AddDense([]float64{1, 1}, GE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-7 {
+		t.Fatalf("objective %g", s.Objective)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 supplies (10, 20), 2 demands (15, 15), costs [[1,3],[2,1]].
+	// Optimal: s0→d0:10, s1→d0:5, s1→d1:15 → 10+10+15=35.
+	p := NewProblem(4) // x00,x01,x10,x11
+	costs := []float64{1, 3, 2, 1}
+	for j, c := range costs {
+		p.SetObj(j, c)
+	}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 10)
+	p.AddConstraint(map[int]float64{2: 1, 3: 1}, EQ, 20)
+	p.AddConstraint(map[int]float64{0: 1, 2: 1}, EQ, 15)
+	p.AddConstraint(map[int]float64{1: 1, 3: 1}, EQ, 15)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-35) > 1e-6 {
+		t.Fatalf("objective %g, want 35", s.Objective)
+	}
+}
+
+// feasible reports whether x satisfies the rows of p within tolerance.
+func feasible(p *Problem, x []float64) bool {
+	for _, v := range x {
+		if v < -1e-6 {
+			return false
+		}
+	}
+	for _, row := range p.rows {
+		lhs := 0.0
+		for j, c := range row.coeffs {
+			lhs += c * x[j]
+		}
+		switch row.rel {
+		case LE:
+			if lhs > row.rhs+1e-6 {
+				return false
+			}
+		case GE:
+			if lhs < row.rhs-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-row.rhs) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: on random box-constrained LPs (always feasible, always bounded)
+// the solver returns a feasible point whose objective is no worse than a
+// set of random feasible points.
+func TestQuickRandomBoxLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, r.Float64()*4-2)
+			p.AddConstraint(map[int]float64{j: 1}, LE, 1+r.Float64()*4) // box
+		}
+		// A few random LE constraints with non-negative coefficients and
+		// positive rhs keep feasibility (x=0 always feasible).
+		for k := 0; k < 1+r.Intn(4); k++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					coeffs[j] = r.Float64() * 3
+				}
+			}
+			p.AddConstraint(coeffs, LE, 0.5+r.Float64()*5)
+		}
+		s := Solve(p)
+		if s.Status != Optimal {
+			return false
+		}
+		if !feasible(p, s.X) {
+			return false
+		}
+		// Compare against random feasible candidates (rejection sampling
+		// inside the box, scaled down until feasible).
+		for k := 0; k < 30; k++ {
+			cand := make([]float64, n)
+			for j := range cand {
+				cand[j] = r.Float64()
+			}
+			for scale := 1.0; scale > 1e-3; scale /= 2 {
+				trial := make([]float64, n)
+				for j := range trial {
+					trial[j] = cand[j] * scale
+				}
+				if feasible(p, trial) {
+					obj := 0.0
+					for j := range trial {
+						obj += p.obj[j] * trial[j]
+					}
+					if obj < s.Objective-1e-5 {
+						return false
+					}
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	n, m := 60, 80
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, r.Float64())
+		p.AddConstraint(map[int]float64{j: 1}, LE, 1)
+	}
+	for i := 0; i < m; i++ {
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if r.Intn(3) == 0 {
+				coeffs[j] = r.Float64()
+			}
+		}
+		p.AddConstraint(coeffs, GE, 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Solve(p); s.Status != Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows leave a basic artificial at zero after
+	// phase 1; driveOutArtificials must cope and phase 2 must still find
+	// the optimum.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4) // redundant copy
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, EQ, 8) // scaled copy
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// min x+2y with x+y=4 → x=4, y=0 → 4.
+	if math.Abs(s.Objective-4) > 1e-7 {
+		t.Fatalf("objective %g, want 4", s.Objective)
+	}
+}
+
+func TestConflictingEqualityRows(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestEqualityWithNegativeRHS(t *testing.T) {
+	// -x - y = -3 ⇔ x + y = 3; min x → x=0, y=3.
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.AddConstraint(map[int]float64{0: -1, 1: -1}, EQ, -3)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.X[0]) > 1e-7 || math.Abs(s.X[1]-3) > 1e-7 {
+		t.Fatalf("solution %v %v", s.Status, s.X)
+	}
+}
+
+func TestTightBoxAllBinding(t *testing.T) {
+	// All constraints active at the optimum (degenerate vertex).
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObj(j, -1)
+		p.AddConstraint(map[int]float64{j: 1}, LE, 1)
+	}
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, LE, 3)
+	s := Solve(p)
+	if s.Status != Optimal || math.Abs(s.Objective-(-3)) > 1e-7 {
+		t.Fatalf("%v obj %g", s.Status, s.Objective)
+	}
+}
+
+// TestRandomEqualitySystems: build LPs with known feasible points and
+// verify the solver's optimum is no worse than that point and satisfies
+// all rows.
+func TestRandomEqualitySystems(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(4)
+		m := 1 + r.Intn(n-1)
+		p := NewProblem(n)
+		x0 := make([]float64, n) // known feasible point
+		for j := range x0 {
+			x0[j] = r.Float64() * 3
+			p.SetObj(j, r.Float64()*2-0.5)
+			p.AddConstraint(map[int]float64{j: 1}, LE, 5)
+		}
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				c := r.Float64()*2 - 1
+				coeffs[j] = c
+				rhs += c * x0[j]
+			}
+			p.AddConstraint(coeffs, EQ, rhs)
+		}
+		s := Solve(p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		obj0 := 0.0
+		for j := range x0 {
+			obj0 += p.Objective(j) * x0[j]
+		}
+		if s.Objective > obj0+1e-6 {
+			t.Fatalf("trial %d: solver obj %g worse than feasible point %g", trial, s.Objective, obj0)
+		}
+		if !feasible(p, s.X) {
+			t.Fatalf("trial %d: infeasible optimum", trial)
+		}
+	}
+}
+
+func TestIterationCountReported(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObj(0, -1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, LE, 10)
+	s := Solve(p)
+	if s.Status != Optimal || s.Iterations == 0 {
+		t.Fatalf("iterations %d status %v", s.Iterations, s.Status)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObj(0, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 2)
+	q := p.Clone()
+	q.SetObj(0, -5)
+	q.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	if p.Objective(0) != 1 {
+		t.Fatal("clone mutated original objective")
+	}
+	if p.NumConstraints() != 1 {
+		t.Fatal("clone mutated original constraints")
+	}
+	// Both still solve.
+	if s := Solve(p); s.Status != Optimal {
+		t.Fatalf("original %v", s.Status)
+	}
+	if s := Solve(q); s.Status != Optimal {
+		t.Fatalf("clone %v", s.Status)
+	}
+}

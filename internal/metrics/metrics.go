@@ -1,0 +1,237 @@
+// Package metrics provides latency and power measurement primitives shared
+// by the simulators and the experiment harnesses: exact percentile trackers,
+// sliding-window tail monitors (the "latency monitor module" on every EPRONS
+// server, paper §IV-C), histograms and time series.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Tracker accumulates samples and answers exact percentile queries. It is
+// intended for offline experiment analysis where sample counts are bounded.
+type Tracker struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (t *Tracker) Add(v float64) {
+	t.samples = append(t.samples, v)
+	t.sorted = false
+	t.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (t *Tracker) Count() int { return len(t.samples) }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (t *Tracker) Mean() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	return t.sum / float64(len(t.samples))
+}
+
+// Quantile returns the nearest-rank q-quantile (q in (0,1]), or 0 with no
+// samples.
+func (t *Tracker) Quantile(q float64) float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	if !t.sorted {
+		sort.Float64s(t.samples)
+		t.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(t.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(t.samples) {
+		idx = len(t.samples) - 1
+	}
+	return t.samples[idx]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (t *Tracker) Max() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	if t.sorted {
+		return t.samples[len(t.samples)-1]
+	}
+	m := t.samples[0]
+	for _, v := range t.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Reset discards all samples.
+func (t *Tracker) Reset() {
+	t.samples = t.samples[:0]
+	t.sorted = false
+	t.sum = 0
+}
+
+// Window is a sliding-window tail-latency monitor: it retains samples whose
+// timestamp lies within the last Span seconds and answers percentile
+// queries over that window. TimeTrader's 5-second feedback loop and the
+// EPRONS latency monitor are built on it.
+type Window struct {
+	Span  float64
+	times []float64
+	vals  []float64
+}
+
+// NewWindow returns a monitor spanning span seconds.
+func NewWindow(span float64) *Window { return &Window{Span: span} }
+
+// Add records a sample observed at time now. Samples must arrive in
+// non-decreasing time order (simulation time is monotone).
+func (w *Window) Add(now, v float64) {
+	w.times = append(w.times, now)
+	w.vals = append(w.vals, v)
+	w.evict(now)
+}
+
+func (w *Window) evict(now float64) {
+	cut := now - w.Span
+	i := 0
+	for i < len(w.times) && w.times[i] < cut {
+		i++
+	}
+	if i > 0 {
+		w.times = w.times[i:]
+		w.vals = w.vals[i:]
+	}
+}
+
+// Count returns the number of samples currently in the window.
+func (w *Window) Count() int { return len(w.vals) }
+
+// Quantile returns the nearest-rank quantile over the current window, or 0
+// if the window is empty.
+func (w *Window) Quantile(q float64) float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	s := make([]float64, len(w.vals))
+	copy(s, w.vals)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Mean returns the mean over the current window, or 0 if empty.
+func (w *Window) Mean() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range w.vals {
+		s += v
+	}
+	return s / float64(len(w.vals))
+}
+
+// Series records (time, value) pairs, e.g. total system power at one-minute
+// granularity for the Fig 15 reproduction.
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Mean returns the mean of the values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Min returns the smallest value, or 0 if empty.
+func (s *Series) Min() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 if empty.
+func (s *Series) Max() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Histogram counts samples in fixed-width bins over [Lo, Hi); out-of-range
+// samples land in the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	N      int
+}
+
+// NewHistogram creates a histogram with n bins over [lo,hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n <= 0 {
+		panic("metrics: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.N++
+}
+
+// Fraction returns the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.N)
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	var tr Tracker
+	if tr.Mean() != 0 || tr.Quantile(0.5) != 0 || tr.Max() != 0 {
+		t.Fatal("empty tracker must return zeros")
+	}
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		tr.Add(v)
+	}
+	if tr.Count() != 5 {
+		t.Fatalf("count %d", tr.Count())
+	}
+	if tr.Mean() != 3 {
+		t.Fatalf("mean %g", tr.Mean())
+	}
+	if tr.Quantile(0.5) != 3 {
+		t.Fatalf("median %g", tr.Quantile(0.5))
+	}
+	if tr.Quantile(1.0) != 5 || tr.Max() != 5 {
+		t.Fatalf("max %g/%g", tr.Quantile(1), tr.Max())
+	}
+	// Add after sort must still work.
+	tr.Add(10)
+	if tr.Max() != 10 {
+		t.Fatalf("max after re-add %g", tr.Max())
+	}
+	tr.Reset()
+	if tr.Count() != 0 || tr.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTrackerQuantileEdges(t *testing.T) {
+	var tr Tracker
+	tr.Add(7)
+	if tr.Quantile(0.0001) != 7 || tr.Quantile(1) != 7 {
+		t.Fatal("single-sample quantiles must be that sample")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(5)
+	w.Add(0, 1)
+	w.Add(1, 2)
+	w.Add(4, 3)
+	if w.Count() != 3 {
+		t.Fatalf("count %d", w.Count())
+	}
+	w.Add(6, 4) // evicts t=0
+	if w.Count() != 3 {
+		t.Fatalf("count after eviction %d", w.Count())
+	}
+	if w.Mean() != 3 {
+		t.Fatalf("window mean %g", w.Mean())
+	}
+	if w.Quantile(0.5) != 3 {
+		t.Fatalf("window median %g", w.Quantile(0.5))
+	}
+	if NewWindow(1).Quantile(0.95) != 0 || NewWindow(1).Mean() != 0 {
+		t.Fatal("empty window must return 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series zeros")
+	}
+	s.Add(0, 10)
+	s.Add(1, 20)
+	s.Add(2, 6)
+	if s.Len() != 3 || s.Mean() != 12 || s.Min() != 6 || s.Max() != 20 {
+		t.Fatalf("series stats %g %g %g", s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Bins[0] != 2 || h.Bins[9] != 2 {
+		t.Fatalf("edge bins %d %d", h.Bins[0], h.Bins[9])
+	}
+	if math.Abs(h.Fraction(0)-2.0/12) > 1e-12 {
+		t.Fatalf("fraction %g", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+// Property: Tracker.Quantile agrees with the sorted-slice nearest-rank
+// definition for every q.
+func TestQuickTrackerQuantile(t *testing.T) {
+	f := func(vals []int8, q8 uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var tr Tracker
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			fs[i] = float64(v)
+			tr.Add(float64(v))
+		}
+		sort.Float64s(fs)
+		q := (float64(q8%100) + 1) / 100
+		idx := int(math.Ceil(q*float64(len(fs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return tr.Quantile(q) == fs[idx]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window quantile is monotone in q.
+func TestQuickWindowQuantileMonotone(t *testing.T) {
+	f := func(vals []uint8, a8, b8 uint8) bool {
+		w := NewWindow(1e9)
+		for i, v := range vals {
+			w.Add(float64(i), float64(v))
+		}
+		qa := (float64(a8%100) + 1) / 100
+		qb := (float64(b8%100) + 1) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return w.Quantile(qa) <= w.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package milp solves mixed binary/continuous linear programs by branch
+// and bound over LP relaxations from eprons/internal/lp.
+//
+// The traffic-consolidation model of the paper (eq. 2–9) has binary
+// link-state (X), switch-state (Y) and flow-routing (Z) variables; CPLEX
+// handles them in the paper and this package handles them here. Instances
+// arising from path-based consolidation on a 4-ary fat-tree solve in
+// milliseconds; the node limit keeps pathological cases bounded, matching
+// the paper's observation that exact solving does not scale and a heuristic
+// is needed in deployment.
+package milp
+
+import (
+	"math"
+
+	"eprons/internal/lp"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible means the node limit was reached; the incumbent is the best
+	// integer solution found but optimality is unproven.
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the root relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Problem is a minimization MILP: an LP plus a set of variables restricted
+// to {0,1}. Upper bounds x_j <= 1 for the binaries are added automatically.
+type Problem struct {
+	LP     *lp.Problem
+	Binary []int
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes (0 means the default of
+	// 200000).
+	MaxNodes int
+}
+
+// Solve runs branch and bound with best-first node selection.
+func Solve(p *Problem, opt Options) Solution {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+
+	root := p.LP.Clone()
+	for _, j := range p.Binary {
+		root.AddConstraint(map[int]float64{j: 1}, lp.LE, 1)
+	}
+
+	type node struct {
+		prob  *lp.Problem
+		bound float64
+	}
+
+	rootSol := lp.Solve(root)
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return Solution{Status: Infeasible}
+	case lp.Unbounded:
+		return Solution{Status: Unbounded}
+	case lp.IterLimit:
+		return Solution{Status: Infeasible}
+	}
+
+	best := Solution{Status: Infeasible, Objective: math.Inf(1)}
+	// Simple best-first: a slice kept as a priority list. Node counts are
+	// small (hundreds) so O(n) extraction is fine and keeps the code clear.
+	open := []node{{prob: root, bound: rootSol.Objective}}
+	nodes := 0
+	// truncated marks any node whose LP relaxation could not be solved to
+	// optimality (iteration limit): that subtree is unexplored, so the
+	// incumbent can no longer be proven optimal.
+	truncated := false
+
+	for len(open) > 0 && nodes < maxNodes {
+		// Extract node with smallest bound.
+		bi := 0
+		for i := 1; i < len(open); i++ {
+			if open[i].bound < open[bi].bound {
+				bi = i
+			}
+		}
+		cur := open[bi]
+		open[bi] = open[len(open)-1]
+		open = open[:len(open)-1]
+
+		if cur.bound >= best.Objective-1e-9 {
+			continue // pruned by incumbent
+		}
+		sol := lp.Solve(cur.prob)
+		nodes++
+		if sol.Status == lp.IterLimit {
+			truncated = true
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree: safe to drop
+		}
+		if sol.Objective >= best.Objective-1e-9 {
+			continue
+		}
+		// Find most fractional binary.
+		branch := -1
+		worst := intTol
+		for _, j := range p.Binary {
+			frac := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: new incumbent.
+			x := make([]float64, len(sol.X))
+			copy(x, sol.X)
+			for _, j := range p.Binary {
+				x[j] = math.Round(x[j])
+			}
+			best = Solution{Status: Feasible, X: x, Objective: sol.Objective}
+			continue
+		}
+		for _, v := range []float64{0, 1} {
+			child := cur.prob.Clone()
+			child.AddConstraint(map[int]float64{branch: 1}, lp.EQ, v)
+			open = append(open, node{prob: child, bound: sol.Objective})
+		}
+	}
+
+	best.Nodes = nodes
+	if best.Status == Infeasible {
+		if nodes >= maxNodes || truncated {
+			// Search truncated without an incumbent: report infeasible is
+			// wrong; report Feasible with no X is worse. Keep Infeasible
+			// only when the tree was exhausted.
+			return Solution{Status: Feasible, Nodes: nodes, Objective: math.Inf(1)}
+		}
+		return best
+	}
+	if len(open) == 0 && nodes < maxNodes && !truncated {
+		best.Status = Optimal
+	}
+	return best
+}

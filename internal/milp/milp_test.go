@@ -1,0 +1,193 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eprons/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c<=2 (binary) → min negated.
+	// Best: a+b → -16.
+	p := lp.NewProblem(3)
+	p.SetObj(0, -10)
+	p.SetObj(1, -6)
+	p.SetObj(2, -4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, lp.LE, 2)
+	s := Solve(&Problem{LP: p, Binary: []int{0, 1, 2}}, Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-16)) > 1e-6 {
+		t.Fatalf("objective %g, want -16", s.Objective)
+	}
+	if s.X[0] != 1 || s.X[1] != 1 || s.X[2] != 0 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestFractionalLPNeedsBranching(t *testing.T) {
+	// min -(x+y) s.t. 2x + 2y <= 3, binary → LP relax gives 1.5 total;
+	// integer optimum is one variable = 1 → -1.
+	p := lp.NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, lp.LE, 3)
+	s := Solve(&Problem{LP: p, Binary: []int{0, 1}}, Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-(-1)) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal -1", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// x + y = 1.5 with x,y binary has no integer solution but a feasible
+	// LP relaxation.
+	p := lp.NewProblem(2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.EQ, 1.5)
+	s := Solve(&Problem{LP: p, Binary: []int{0, 1}}, Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 5)
+	s := Solve(&Problem{LP: p, Binary: []int{0}}, Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y + 0.5c s.t. c >= 2 - 10y, c <= 5, y binary.
+	// y=0 → c>=2 → cost 1. y=1 → c>=0(-8) → c=0, cost 1. Tie at 1.
+	p := lp.NewProblem(2) // y, c
+	p.SetObj(0, 1)
+	p.SetObj(1, 0.5)
+	p.AddConstraint(map[int]float64{1: 1, 0: 10}, lp.GE, 2)
+	p.AddConstraint(map[int]float64{1: 1}, lp.LE, 5)
+	s := Solve(&Problem{LP: p, Binary: []int{0}}, Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-1) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal 1", s.Status, s.Objective)
+	}
+}
+
+func TestFacilityLocationStyle(t *testing.T) {
+	// 2 facilities (open cost 10, 6), 2 clients; client j served needs
+	// assignment to an open facility. Assignment costs:
+	// f0: [1, 4], f1: [5, 1].
+	// Options: open f0 only: 10+1+4=15; f1 only: 6+5+1=12; both:
+	// 10+6+1+1=18. Optimum 12.
+	// Vars: y0,y1 (open), x00,x01,x10,x11 (xij = client j at facility i).
+	p := lp.NewProblem(6)
+	p.SetObj(0, 10)
+	p.SetObj(1, 6)
+	p.SetObj(2, 1)
+	p.SetObj(3, 4)
+	p.SetObj(4, 5)
+	p.SetObj(5, 1)
+	// Each client assigned exactly once.
+	p.AddConstraint(map[int]float64{2: 1, 4: 1}, lp.EQ, 1)
+	p.AddConstraint(map[int]float64{3: 1, 5: 1}, lp.EQ, 1)
+	// Assignment implies open.
+	p.AddConstraint(map[int]float64{2: 1, 0: -1}, lp.LE, 0)
+	p.AddConstraint(map[int]float64{3: 1, 0: -1}, lp.LE, 0)
+	p.AddConstraint(map[int]float64{4: 1, 1: -1}, lp.LE, 0)
+	p.AddConstraint(map[int]float64{5: 1, 1: -1}, lp.LE, 0)
+	s := Solve(&Problem{LP: p, Binary: []int{0, 1, 2, 3, 4, 5}}, Options{})
+	if s.Status != Optimal || math.Abs(s.Objective-12) > 1e-6 {
+		t.Fatalf("status %v obj %g, want optimal 12", s.Status, s.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	p := lp.NewProblem(12)
+	for j := 0; j < 12; j++ {
+		p.SetObj(j, -(1 + float64(j)*0.01))
+	}
+	coeffs := map[int]float64{}
+	for j := 0; j < 12; j++ {
+		coeffs[j] = 2
+	}
+	p.AddConstraint(coeffs, lp.LE, 11)
+	s := Solve(&Problem{LP: p, Binary: rangeInts(12)}, Options{MaxNodes: 3})
+	if s.Status == Optimal {
+		t.Fatalf("node-limited search claimed optimality (nodes=%d)", s.Nodes)
+	}
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Property: on random small binary knapsacks, branch and bound matches
+// exhaustive enumeration.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for j := 0; j < n; j++ {
+			values[j] = math.Floor(r.Float64()*20) + 1
+			weights[j] = math.Floor(r.Float64()*10) + 1
+		}
+		capacity := math.Floor(r.Float64() * 25)
+		p := lp.NewProblem(n)
+		coeffs := map[int]float64{}
+		for j := 0; j < n; j++ {
+			p.SetObj(j, -values[j])
+			coeffs[j] = weights[j]
+		}
+		p.AddConstraint(coeffs, lp.LE, capacity)
+		got := Solve(&Problem{LP: p, Binary: rangeInts(n)}, Options{})
+		if got.Status != Optimal {
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					w += weights[j]
+					v += values[j]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		return math.Abs(-got.Objective-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKnapsack12(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	n := 12
+	p := lp.NewProblem(n)
+	coeffs := map[int]float64{}
+	for j := 0; j < n; j++ {
+		p.SetObj(j, -(1 + r.Float64()*10))
+		coeffs[j] = 1 + r.Float64()*5
+	}
+	p.AddConstraint(coeffs, lp.LE, 18)
+	prob := &Problem{LP: p, Binary: rangeInts(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Solve(prob, Options{}); s.Status != Optimal {
+			b.Fatal("not optimal")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package netmodel provides analytic and trained network-latency models.
+//
+// The joint planner (paper §IV-A) cannot afford packet simulation inside
+// its scale-factor-K search, so — like the paper, which trains a model from
+// a portion of the application queries — it uses:
+//
+//   - an M/M/1-style analytic per-hop model whose mean and tail grow as
+//     utilization approaches 1 (the knee of Fig 1), and
+//   - a Trained table of measured latency quantiles per operating point
+//     (scale factor or aggregation level × background utilization), filled
+//     from netsim runs and interpolated at planning time.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Analytic is the queueing-theoretic latency model.
+type Analytic struct {
+	// PacketBytes is the MTU (default 1500).
+	PacketBytes int
+	// HopDelay is the fixed per-hop delay in seconds (default 2µs,
+	// matching netsim).
+	HopDelay float64
+	// Scale multiplies every predicted latency (default 1). The paper's
+	// MiniNet/Open vSwitch testbed sees millisecond-scale network
+	// latencies (Fig 10: 5.6–25.7 ms) where a clean packet simulation of
+	// the same fabric sees microseconds; setting Scale ≈ 25 calibrates
+	// the model to the paper's measured magnitudes so that the Fig 13
+	// budget interactions reproduce quantitatively.
+	Scale float64
+}
+
+// DefaultAnalytic matches netsim's defaults.
+func DefaultAnalytic() Analytic {
+	return Analytic{PacketBytes: 1500, HopDelay: 2e-6}
+}
+
+// clampUtil keeps utilization strictly below 1 so the M/M/1 terms stay
+// finite; past ~0.98 the simulator is unstable anyway.
+func clampUtil(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 0.98 {
+		return 0.98
+	}
+	return u
+}
+
+// HopMean returns the expected one-hop latency for a message of msgBytes on
+// a link with capacity capBps and background utilization util: message
+// serialization plus M/M/1 queueing behind cross-traffic packets plus the
+// fixed hop delay.
+func (m Analytic) HopMean(util, capBps float64, msgBytes int) float64 {
+	util = clampUtil(util)
+	pktSvc := float64(m.PacketBytes) * 8 / capBps
+	ser := float64(msgBytes) * 8 / capBps
+	queue := util / (1 - util) * pktSvc
+	return m.scale() * (ser + queue + m.HopDelay)
+}
+
+func (m Analytic) scale() float64 {
+	if m.Scale <= 0 {
+		return 1
+	}
+	return m.Scale
+}
+
+// PathMean sums HopMean over a path's per-link utilizations. capBps applies
+// to every hop (homogeneous fat-tree links).
+func (m Analytic) PathMean(utils []float64, capBps float64, msgBytes int) float64 {
+	s := 0.0
+	for _, u := range utils {
+		s += m.HopMean(u, capBps, msgBytes)
+	}
+	return s
+}
+
+// PathQuantile estimates the q-quantile of path latency. Per-hop sojourn in
+// an M/M/1 queue is exponential with rate μ(1−ρ); quantiles of a sum of
+// exponentials are approximated by scaling the dominant (most utilized)
+// hop's quantile and adding the means of the rest — a deliberate,
+// documented approximation that preserves the knee shape used for slack
+// planning.
+func (m Analytic) PathQuantile(q float64, utils []float64, capBps float64, msgBytes int) float64 {
+	if len(utils) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0.5
+	}
+	if q >= 1 {
+		q = 0.999
+	}
+	worst := 0
+	for i, u := range utils {
+		if u > utils[worst] {
+			worst = i
+		}
+	}
+	total := 0.0
+	for i, u := range utils {
+		if i == worst {
+			continue
+		}
+		total += m.HopMean(u, capBps, msgBytes)
+	}
+	u := clampUtil(utils[worst])
+	pktSvc := float64(m.PacketBytes) * 8 / capBps
+	mu := 1 / pktSvc
+	lambda := u * mu
+	rate := mu - lambda
+	tailQ := -math.Log(1-q) / rate
+	ser := float64(msgBytes) * 8 / capBps
+	return total + m.scale()*(ser+tailQ+m.HopDelay)
+}
+
+// Trained is an empirical latency table: for each integer operating point
+// (e.g. scale factor K or aggregation level) and background utilization, it
+// stores a measured latency (typically the 95th percentile of query network
+// latency from netsim). Lookups interpolate linearly in utilization and
+// take the nearest trained operating point.
+type Trained struct {
+	points map[int][]sample // per operating point, sorted by util
+}
+
+type sample struct {
+	util    float64
+	latency float64
+}
+
+// NewTrained returns an empty table.
+func NewTrained() *Trained {
+	return &Trained{points: make(map[int][]sample)}
+}
+
+// Add records a measurement for an operating point.
+func (t *Trained) Add(point int, util, latency float64) {
+	s := append(t.points[point], sample{util: util, latency: latency})
+	sort.Slice(s, func(i, j int) bool { return s[i].util < s[j].util })
+	t.points[point] = s
+}
+
+// Points returns the trained operating points in ascending order.
+func (t *Trained) Points() []int {
+	out := make([]int, 0, len(t.points))
+	for p := range t.points {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Lookup returns the interpolated latency for (point, util). Utilizations
+// outside the trained range clamp to the nearest sample; an exact-match
+// operating point is preferred, otherwise the nearest trained point is
+// used. An error is returned only for an empty table.
+func (t *Trained) Lookup(point int, util float64) (float64, error) {
+	s, ok := t.points[point]
+	if !ok || len(s) == 0 {
+		// Deterministic nearest-point fallback: smallest point wins ties.
+		best, found := 0, false
+		for _, p := range t.Points() {
+			if len(t.points[p]) == 0 {
+				continue
+			}
+			if !found || abs(p-point) < abs(best-point) {
+				best, found = p, true
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("netmodel: no trained operating points")
+		}
+		s = t.points[best]
+	}
+	if util <= s[0].util {
+		return s[0].latency, nil
+	}
+	if util >= s[len(s)-1].util {
+		return s[len(s)-1].latency, nil
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].util >= util })
+	lo, hi := s[i-1], s[i]
+	if hi.util == lo.util {
+		return lo.latency, nil
+	}
+	f := (util - lo.util) / (hi.util - lo.util)
+	return lo.latency + f*(hi.latency-lo.latency), nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

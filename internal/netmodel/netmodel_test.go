@@ -1,0 +1,147 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHopMeanKneeShape(t *testing.T) {
+	m := DefaultAnalytic()
+	low := m.HopMean(0.2, 1e9, 1500)
+	mid := m.HopMean(0.5, 1e9, 1500)
+	high := m.HopMean(0.95, 1e9, 1500)
+	if !(low < mid && mid < high) {
+		t.Fatalf("latency not increasing: %g %g %g", low, mid, high)
+	}
+	// The knee: the 0.95 point must be disproportionately larger.
+	if (high - mid) < 3*(mid-low) {
+		t.Fatalf("no knee: deltas %g vs %g", high-mid, mid-low)
+	}
+}
+
+func TestHopMeanClamps(t *testing.T) {
+	m := DefaultAnalytic()
+	if v := m.HopMean(-1, 1e9, 1500); v != m.HopMean(0, 1e9, 1500) {
+		t.Fatalf("negative util not clamped: %g", v)
+	}
+	over := m.HopMean(2, 1e9, 1500)
+	if math.IsInf(over, 0) || math.IsNaN(over) {
+		t.Fatal("over-saturation produced non-finite latency")
+	}
+}
+
+func TestPathMeanSumsHops(t *testing.T) {
+	m := DefaultAnalytic()
+	single := m.HopMean(0.3, 1e9, 1500)
+	path := m.PathMean([]float64{0.3, 0.3, 0.3}, 1e9, 1500)
+	if math.Abs(path-3*single) > 1e-12 {
+		t.Fatalf("path %g, want %g", path, 3*single)
+	}
+	if m.PathMean(nil, 1e9, 1500) != 0 {
+		t.Fatal("empty path must cost 0")
+	}
+}
+
+func TestPathQuantileAboveMean(t *testing.T) {
+	m := DefaultAnalytic()
+	utils := []float64{0.2, 0.6, 0.4}
+	mean := m.PathMean(utils, 1e9, 1500)
+	p95 := m.PathQuantile(0.95, utils, 1e9, 1500)
+	p99 := m.PathQuantile(0.99, utils, 1e9, 1500)
+	if p95 <= mean*0.5 {
+		t.Fatalf("p95 %g too small vs mean %g", p95, mean)
+	}
+	if p99 <= p95 {
+		t.Fatalf("p99 %g <= p95 %g", p99, p95)
+	}
+	if m.PathQuantile(0.95, nil, 1e9, 1500) != 0 {
+		t.Fatal("empty path quantile must be 0")
+	}
+	// Degenerate q values clamp rather than blow up.
+	if v := m.PathQuantile(0, utils, 1e9, 1500); v <= 0 || math.IsInf(v, 0) {
+		t.Fatalf("q=0 gave %g", v)
+	}
+	if v := m.PathQuantile(1, utils, 1e9, 1500); v <= 0 || math.IsInf(v, 0) {
+		t.Fatalf("q=1 gave %g", v)
+	}
+}
+
+func TestTrainedLookup(t *testing.T) {
+	tr := NewTrained()
+	if _, err := tr.Lookup(1, 0.2); err == nil {
+		t.Fatal("empty-table lookup must error")
+	}
+	tr.Add(1, 0.1, 1e-3)
+	tr.Add(1, 0.5, 5e-3)
+	tr.Add(1, 0.3, 3e-3)
+	// Exact points.
+	for _, c := range []struct{ u, want float64 }{{0.1, 1e-3}, {0.3, 3e-3}, {0.5, 5e-3}} {
+		got, err := tr.Lookup(1, c.u)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Lookup(%g) = %g, %v", c.u, got, err)
+		}
+	}
+	// Interpolation.
+	got, _ := tr.Lookup(1, 0.2)
+	if math.Abs(got-2e-3) > 1e-12 {
+		t.Fatalf("interp %g, want 2e-3", got)
+	}
+	// Clamping outside range.
+	lo, _ := tr.Lookup(1, 0.0)
+	hi, _ := tr.Lookup(1, 0.9)
+	if lo != 1e-3 || hi != 5e-3 {
+		t.Fatalf("clamp %g %g", lo, hi)
+	}
+	if pts := tr.Points(); len(pts) != 1 || pts[0] != 1 {
+		t.Fatalf("points %v", pts)
+	}
+	// Untrained operating points fall back to the nearest trained one.
+	near, err := tr.Lookup(4, 0.3)
+	if err != nil || math.Abs(near-3e-3) > 1e-12 {
+		t.Fatalf("nearest-point fallback %g, %v", near, err)
+	}
+}
+
+// Property: HopMean is monotone non-decreasing in utilization.
+func TestQuickHopMonotone(t *testing.T) {
+	m := DefaultAnalytic()
+	f := func(a, b uint8) bool {
+		ua := float64(a) / 255
+		ub := float64(b) / 255
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return m.HopMean(ua, 1e9, 1500) <= m.HopMean(ub, 1e9, 1500)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trained lookup stays within the min/max of its samples.
+func TestQuickTrainedBounds(t *testing.T) {
+	f := func(utils []uint8, u8 uint8) bool {
+		if len(utils) == 0 {
+			return true
+		}
+		tr := NewTrained()
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, u := range utils {
+			uu := float64(u) / 255
+			lat := 1e-3 + uu*uu*10e-3
+			tr.Add(0, uu, lat)
+			if lat < min {
+				min = lat
+			}
+			if lat > max {
+				max = lat
+			}
+		}
+		got, err := tr.Lookup(0, float64(u8)/255)
+		return err == nil && got >= min-1e-12 && got <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+// Package netsim is a packet-level discrete-event simulator of the
+// data-center network. It replaces the paper's MiniNet/Open vSwitch
+// emulation: store-and-forward switches with FIFO output queues, per-link
+// serialization at the configured capacity, background (latency-tolerant)
+// packet flows and request/reply messages whose end-to-end latency is
+// measured per message.
+//
+// Queueing delay emerges naturally from FIFO serialization, reproducing the
+// utilization-latency knee of the paper's Fig 1: latency is flat at low
+// utilization and explodes as a link approaches saturation.
+package netsim
+
+import (
+	"fmt"
+
+	"eprons/internal/flow"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+// Config sets the fixed per-element delays.
+type Config struct {
+	// PacketBytes is the MTU used to segment messages and background
+	// traffic (default 1500).
+	PacketBytes int
+	// HopDelay is the fixed per-hop processing+propagation delay in
+	// seconds (default 2µs, a software-switch figure).
+	HopDelay float64
+	// QueueLimitBytes bounds each directed link's output queue; a packet
+	// arriving at a full queue is tail-dropped. 0 (default) models
+	// infinite buffers, which is what the latency-centric experiments
+	// assume — the SLA dies of queueing delay long before real buffers
+	// overflow.
+	QueueLimitBytes int
+	// PriorityQueueing switches every link to two-class strict-priority
+	// (non-preemptive) scheduling: flows marked with SetPriority jump
+	// ahead of best-effort packets. The paper's fabric is FIFO — this
+	// mode exists for the "why not QoS instead of the scale factor K?"
+	// ablation. Incompatible with QueueLimitBytes.
+	PriorityQueueing bool
+}
+
+// DefaultConfig returns MiniNet-like defaults.
+func DefaultConfig() Config {
+	return Config{PacketBytes: 1500, HopDelay: 2e-6}
+}
+
+func (c *Config) fill() {
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = 1500
+	}
+	if c.HopDelay < 0 {
+		c.HopDelay = 0
+	}
+}
+
+// linkState is the FIFO server for one link direction. busyUntil is the
+// departure time of the last queued bit; a packet arriving at t starts
+// transmitting at max(t, busyUntil).
+type linkState struct {
+	busyUntil float64
+	bytes     int64 // forwarded bytes since the last stats reset
+
+	// priority mode state
+	busy bool
+	hiQ  []pqPacket
+	loQ  []pqPacket
+}
+
+// pqPacket is a queued packet awaiting service in priority mode.
+type pqPacket struct {
+	bytes   int
+	path    topology.Path
+	hop     int
+	hi      bool
+	done    func()
+	dropped func()
+}
+
+// Network couples a topology with an event engine and carries traffic.
+type Network struct {
+	Cfg    Config
+	eng    *sim.Engine
+	g      *topology.Graph
+	active *topology.ActiveSet
+	routes map[flow.ID]topology.Path
+	links  []linkState
+	// flowBytes counts bytes injected per flow since the last
+	// ResetStats — the per-flow counters the SDN controller polls.
+	flowBytes map[flow.ID]int64
+	// highPrio marks flows served from the high-priority class when
+	// Cfg.PriorityQueueing is on.
+	highPrio map[flow.ID]bool
+
+	// Dropped counts packets that hit an inactive element (a transient
+	// during reconfiguration; steady-state experiments keep it at zero)
+	// or a full queue.
+	Dropped int64
+	// TailDrops counts only full-queue drops (Config.QueueLimitBytes).
+	TailDrops int64
+}
+
+// New creates a network on g driven by eng, with everything active.
+func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Network {
+	cfg.fill()
+	return &Network{
+		Cfg:       cfg,
+		eng:       eng,
+		g:         g,
+		active:    topology.NewActiveSet(g),
+		routes:    make(map[flow.ID]topology.Path),
+		links:     make([]linkState, 2*g.NumLinks()),
+		flowBytes: make(map[flow.ID]int64),
+		highPrio:  make(map[flow.ID]bool),
+	}
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// SetActive installs the powered subnet. Packets in flight are not
+// interrupted; future hops onto inactive elements drop.
+func (n *Network) SetActive(a *topology.ActiveSet) { n.active = a.Clone() }
+
+// Active returns the current powered subnet (shared; do not mutate).
+func (n *Network) Active() *topology.ActiveSet { return n.active }
+
+// SetPriority marks a flow as high priority (only meaningful with
+// Cfg.PriorityQueueing).
+func (n *Network) SetPriority(id flow.ID, hi bool) {
+	if hi {
+		n.highPrio[id] = true
+	} else {
+		delete(n.highPrio, id)
+	}
+}
+
+// SetRoute installs the path for a flow. The path must be valid.
+func (n *Network) SetRoute(id flow.ID, p topology.Path) error {
+	if !p.Valid(n.g) {
+		return fmt.Errorf("netsim: invalid route for flow %d", id)
+	}
+	n.routes[id] = p
+	return nil
+}
+
+// Route returns a flow's installed path.
+func (n *Network) Route(id flow.ID) (topology.Path, bool) {
+	p, ok := n.routes[id]
+	return p, ok
+}
+
+// InstallRoutes installs every path in the map (the controller's rule
+// push).
+func (n *Network) InstallRoutes(paths map[flow.ID]topology.Path) error {
+	for id, p := range paths {
+		if err := n.SetRoute(id, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendMessage transmits size bytes along the route of fid and calls
+// onDelivered with the message's network latency once its last packet
+// arrives. If the flow has no route or the route is (or becomes) inactive,
+// the message is dropped and onDropped (if non-nil) is called.
+func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
+	p, ok := n.routes[fid]
+	if !ok || len(p) < 2 {
+		n.Dropped++
+		if onDropped != nil {
+			onDropped()
+		}
+		return
+	}
+	start := n.eng.Now()
+	n.flowBytes[fid] += int64(size)
+	packets := (size + n.Cfg.PacketBytes - 1) / n.Cfg.PacketBytes
+	if packets == 0 {
+		packets = 1
+	}
+	remaining := size
+	for i := 0; i < packets; i++ {
+		pkt := n.Cfg.PacketBytes
+		if remaining < pkt {
+			pkt = remaining
+		}
+		remaining -= pkt
+		last := i == packets-1
+		n.send(p, pkt, n.highPrio[fid], func() {
+			if last && onDelivered != nil {
+				onDelivered(n.eng.Now() - start)
+			}
+		}, onDropped)
+	}
+}
+
+// send dispatches one packet onto hop 0 with the flow's priority class.
+func (n *Network) send(p topology.Path, bytes int, hi bool, done func(), dropped func()) {
+	if n.Cfg.PriorityQueueing {
+		n.forwardPQ(p, 0, bytes, hi, done, dropped)
+		return
+	}
+	n.forward(p, 0, bytes, done, dropped)
+}
+
+// forward recursively sends one packet across hop h of path p.
+func (n *Network) forward(p topology.Path, hop, bytes int, done func(), dropped func()) {
+	if hop >= len(p)-1 {
+		done()
+		return
+	}
+	from, to := p[hop], p[hop+1]
+	lid, ok := n.g.FindLink(from, to)
+	if !ok {
+		panic("netsim: route hop without link (route validated at install)")
+	}
+	l := n.g.Link(lid)
+	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
+		n.Dropped++
+		if dropped != nil {
+			dropped()
+		}
+		return
+	}
+	ls := &n.links[l.DirIndex(from)]
+	now := n.eng.Now()
+	startTx := now
+	if ls.busyUntil > startTx {
+		startTx = ls.busyUntil
+	}
+	if n.Cfg.QueueLimitBytes > 0 {
+		// Backlog in bytes implied by the time the queue needs to drain.
+		backlog := (startTx - now) * l.CapacityBps / 8
+		if int(backlog)+bytes > n.Cfg.QueueLimitBytes {
+			n.Dropped++
+			n.TailDrops++
+			if dropped != nil {
+				dropped()
+			}
+			return
+		}
+	}
+	txTime := float64(bytes) * 8 / l.CapacityBps
+	depart := startTx + txTime
+	ls.busyUntil = depart
+	ls.bytes += int64(bytes)
+	n.eng.Schedule(depart+n.Cfg.HopDelay, func() {
+		n.forward(p, hop+1, bytes, done, dropped)
+	})
+}
+
+// Background is a handle on a running background packet source.
+type Background struct {
+	stop bool
+}
+
+// Stop halts the source after its next scheduled packet.
+func (b *Background) Stop() { b.stop = true }
+
+// StartBackground launches a Poisson packet source on the route of fid.
+// rate is polled before each packet and returns the current offered load in
+// bits per second; returning 0 pauses the source (re-polled every 10ms).
+// Packets that find the route inactive are dropped and counted.
+func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.Stream) *Background {
+	b := &Background{}
+	bits := float64(n.Cfg.PacketBytes) * 8
+	var tick func()
+	tick = func() {
+		if b.stop {
+			return
+		}
+		r := rate()
+		if r <= 0 {
+			n.eng.After(10e-3, tick)
+			return
+		}
+		interval := stream.Exp(bits / r)
+		n.eng.After(interval, func() {
+			if b.stop {
+				return
+			}
+			if p, ok := n.routes[fid]; ok {
+				n.flowBytes[fid] += int64(n.Cfg.PacketBytes)
+				n.send(p, n.Cfg.PacketBytes, n.highPrio[fid], func() {}, nil)
+			}
+			tick()
+		})
+	}
+	tick()
+	return b
+}
+
+// LinkBytes returns forwarded bytes per directed link since the last
+// ResetStats, keyed by link ID with both directions summed.
+func (n *Network) LinkBytes() map[topology.LinkID]int64 {
+	out := make(map[topology.LinkID]int64)
+	for i := range n.links {
+		if n.links[i].bytes != 0 {
+			out[topology.LinkID(i/2)] += n.links[i].bytes
+		}
+	}
+	return out
+}
+
+// LinkUtilization returns per-link utilization over the window seconds
+// since the last ResetStats, using the busier direction (utilization is
+// per-direction in a full-duplex link).
+func (n *Network) LinkUtilization(window float64) map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64)
+	if window <= 0 {
+		return out
+	}
+	for i := range n.links {
+		b := n.links[i].bytes
+		if b == 0 {
+			continue
+		}
+		lid := topology.LinkID(i / 2)
+		u := float64(b) * 8 / window / n.g.Link(lid).CapacityBps
+		if u > out[lid] {
+			out[lid] = u
+		}
+	}
+	return out
+}
+
+// FlowRates returns per-flow offered rates in bits per second over the
+// window seconds since the last ResetStats.
+func (n *Network) FlowRates(window float64) map[flow.ID]float64 {
+	out := make(map[flow.ID]float64)
+	if window <= 0 {
+		return out
+	}
+	for id, b := range n.flowBytes {
+		out[id] = float64(b) * 8 / window
+	}
+	return out
+}
+
+// ResetStats zeroes the per-link and per-flow byte counters (the
+// controller's 2-second stats pull does this after reading).
+func (n *Network) ResetStats() {
+	for i := range n.links {
+		n.links[i].bytes = 0
+	}
+	for id := range n.flowBytes {
+		delete(n.flowBytes, id)
+	}
+}
+
+// forwardPQ is the priority-mode hop forwarder: packets enter a two-class
+// queue per link direction; a free link serves the high class first,
+// without preempting the packet in service.
+func (n *Network) forwardPQ(p topology.Path, hop, bytes int, hi bool, done func(), dropped func()) {
+	if hop >= len(p)-1 {
+		done()
+		return
+	}
+	from, to := p[hop], p[hop+1]
+	lid, ok := n.g.FindLink(from, to)
+	if !ok {
+		panic("netsim: route hop without link (route validated at install)")
+	}
+	l := n.g.Link(lid)
+	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
+		n.Dropped++
+		if dropped != nil {
+			dropped()
+		}
+		return
+	}
+	ls := &n.links[l.DirIndex(from)]
+	pkt := pqPacket{bytes: bytes, path: p, hop: hop, hi: hi, done: done, dropped: dropped}
+	if hi {
+		ls.hiQ = append(ls.hiQ, pkt)
+	} else {
+		ls.loQ = append(ls.loQ, pkt)
+	}
+	if !ls.busy {
+		n.servePQ(ls, l)
+	}
+}
+
+// servePQ transmits the next queued packet on a link direction.
+func (n *Network) servePQ(ls *linkState, l topology.Link) {
+	var pkt pqPacket
+	switch {
+	case len(ls.hiQ) > 0:
+		pkt = ls.hiQ[0]
+		ls.hiQ = ls.hiQ[1:]
+	case len(ls.loQ) > 0:
+		pkt = ls.loQ[0]
+		ls.loQ = ls.loQ[1:]
+	default:
+		ls.busy = false
+		return
+	}
+	ls.busy = true
+	tx := float64(pkt.bytes) * 8 / l.CapacityBps
+	ls.bytes += int64(pkt.bytes)
+	n.eng.After(tx, func() {
+		// Hand the packet to the next hop after the fixed hop delay,
+		// then serve whatever is queued here.
+		n.eng.After(n.Cfg.HopDelay, func() {
+			n.forwardPQ(pkt.path, pkt.hop+1, pkt.bytes, pkt.hi, pkt.done, pkt.dropped)
+		})
+		n.servePQ(ls, l)
+	})
+}

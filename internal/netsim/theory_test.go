@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"eprons/internal/metrics"
+	"eprons/internal/queueing"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+// TestMM1TheoryAgreement validates the packet simulator against M/M/1
+// theory: Poisson packet arrivals into one link form an M/D/1 queue
+// (deterministic 1500-byte service), whose Pollaczek–Khinchine mean wait
+// the measured latency must match within simulation noise.
+func TestMM1TheoryAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	for _, util := range []float64{0.3, 0.6, 0.8} {
+		g := topology.NewGraph()
+		h0 := g.AddNode("h0", topology.Host, 0)
+		sw := g.AddNode("sw", topology.EdgeSwitch, 36)
+		h1 := g.AddNode("h1", topology.Host, 0)
+		// Fast ingress so the egress link is the only queue.
+		if _, err := g.AddLink(h0, sw, 100e9, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddLink(sw, h1, 1e9, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New()
+		cfg := DefaultConfig()
+		cfg.HopDelay = 0
+		n := New(eng, g, cfg)
+		if err := n.SetRoute(1, topology.Path{h0, sw, h1}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Poisson single-packet messages at the target egress utilization.
+		svc := 1500.0 * 8 / 1e9 // egress serialization: 12 µs
+		lambda := util / svc
+		var tr metrics.Tracker
+		arr := rng.New(int64(100 * util))
+		var send func()
+		send = func() {
+			n.SendMessage(1, 1500, func(l float64) { tr.Add(l) }, nil)
+			if eng.Now() < 4 {
+				eng.After(arr.Exp(1/lambda), send)
+			}
+		}
+		send()
+		eng.Run(5)
+		eng.RunAll()
+
+		// Measured latency = ingress serialization (0.12 µs) + egress
+		// wait + egress service. M/D/1: Wq = ρ/(2(1−ρ))·svc (PK, scv=0).
+		wq, err := queueing.MG1MeanWait(lambda, svc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingress := 1500.0 * 8 / 100e9
+		want := ingress + wq + svc
+		got := tr.Mean()
+		if rel := math.Abs(got-want) / want; rel > 0.06 {
+			t.Fatalf("util %.1f: measured %.2fµs vs M/D/1 theory %.2fµs (%.1f%% off, %d samples)",
+				util, got*1e6, want*1e6, rel*100, tr.Count())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package power holds the power models of the paper's evaluation (§V-A)
+// and energy accounting helpers:
+//
+//   - switch power: a measured HPE E3800 curve (97.5 W idle, +0.59 W from
+//     0→100% link utilization — effectively flat, Fig 8) backing the
+//     utilization-independence assumption, and the 36 W active-switch
+//     figure of [23] used in the total-power results;
+//   - CPU core power across the 1.2–2.7 GHz DVFS range, interpolated
+//     through the measured 1.4 W / 4.4 W endpoints with a cubic-in-f
+//     dynamic term;
+//   - 20 W static server power (Huawei XH320 V2 ratio, [22]).
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Paper constants.
+const (
+	// SwitchActiveW is the power of an active switch in the system-level
+	// results (Fig 13, Fig 15).
+	SwitchActiveW = 36.0
+	// HPEIdleW and HPEFullLoadDeltaW describe the measured E3800 curve of
+	// Fig 8.
+	HPEIdleW          = 97.5
+	HPEFullLoadDeltaW = 0.59
+	// ServerStaticW is the non-CPU server power (motherboard, memory).
+	ServerStaticW = 20.0
+	// CoresPerServer matches the 12-core Xeon E5-2697 v2 of the paper.
+	CoresPerServer = 12
+	// FMinGHz..FMaxGHz is the DVFS range, stepped by FStepGHz.
+	FMinGHz  = 1.2
+	FMaxGHz  = 2.7
+	FStepGHz = 0.1
+	// CoreMinW and CoreMaxW are the measured per-core powers at the
+	// frequency extremes.
+	CoreMinW = 1.4
+	CoreMaxW = 4.4
+	// CoreIdleW is the power of a core with no request in service (deep
+	// C-state). The paper does not publish this figure; the value is a
+	// documented assumption (DESIGN.md) and only shifts all policies'
+	// curves by the same constant.
+	CoreIdleW = 0.4
+)
+
+// HPESwitchW returns the measured switch power at the given link
+// utilization in [0,1] — the Fig 8 curve. It is flat to within 0.6%,
+// which is why consolidation (not rate adaptation) is the lever for network
+// energy.
+func HPESwitchW(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return HPEIdleW + HPEFullLoadDeltaW*util
+}
+
+// cubic coefficients for CoreActiveW: P(f) = a + b·f³ through the measured
+// endpoints.
+var (
+	coreB = (CoreMaxW - CoreMinW) / (math.Pow(FMaxGHz, 3) - math.Pow(FMinGHz, 3))
+	coreA = CoreMinW - coreB*math.Pow(FMinGHz, 3)
+)
+
+// CoreActiveW returns the power of a core actively processing at frequency
+// f GHz. Frequencies are clamped to the DVFS range.
+func CoreActiveW(fGHz float64) float64 {
+	f := ClampFreq(fGHz)
+	return coreA + coreB*f*f*f
+}
+
+// ClampFreq clamps to [FMinGHz, FMaxGHz].
+func ClampFreq(fGHz float64) float64 {
+	if fGHz < FMinGHz {
+		return FMinGHz
+	}
+	if fGHz > FMaxGHz {
+		return FMaxGHz
+	}
+	return fGHz
+}
+
+// FreqGrid returns the DVFS frequency steps in ascending order
+// (1.2, 1.3, ..., 2.7 GHz).
+func FreqGrid() []float64 {
+	var out []float64
+	for i := 0; ; i++ {
+		f := FMinGHz + float64(i)*FStepGHz
+		if f > FMaxGHz+1e-9 {
+			break
+		}
+		out = append(out, math.Round(f*10)/10)
+	}
+	return out
+}
+
+// SnapFreq rounds a frequency up to the next grid step (a DVFS governor can
+// only set discrete P-states; rounding up preserves latency guarantees).
+func SnapFreq(fGHz float64) float64 {
+	f := ClampFreq(fGHz)
+	steps := math.Ceil((f - FMinGHz) / FStepGHz * (1 - 1e-12))
+	s := FMinGHz + steps*FStepGHz
+	if s > FMaxGHz {
+		s = FMaxGHz
+	}
+	return math.Round(s*10) / 10
+}
+
+// Accumulator integrates power over simulated time. Call Advance with the
+// current time and instantaneous power whenever the power level changes;
+// Energy and AveragePower report the integral.
+type Accumulator struct {
+	lastT   float64
+	lastP   float64
+	energyJ float64
+	started bool
+}
+
+// NewAccumulator starts integration at time t0 with power p0.
+func NewAccumulator(t0, p0 float64) *Accumulator {
+	return &Accumulator{lastT: t0, lastP: p0, started: true}
+}
+
+// Advance integrates the previous power level up to time t and sets the new
+// level p. Times must be non-decreasing.
+func (a *Accumulator) Advance(t, p float64) error {
+	if !a.started {
+		a.lastT, a.lastP, a.started = t, p, true
+		return nil
+	}
+	if t < a.lastT-1e-12 {
+		return fmt.Errorf("power: time went backwards: %g < %g", t, a.lastT)
+	}
+	a.energyJ += a.lastP * (t - a.lastT)
+	a.lastT, a.lastP = t, p
+	return nil
+}
+
+// EnergyJ returns the integrated energy up to time t (integrating the
+// current level forward).
+func (a *Accumulator) EnergyJ(t float64) float64 {
+	if !a.started || t <= a.lastT {
+		return a.energyJ
+	}
+	return a.energyJ + a.lastP*(t-a.lastT)
+}
+
+// AveragePowerW returns the mean power over [t0, t].
+func (a *Accumulator) AveragePowerW(t0, t float64) float64 {
+	if t <= t0 {
+		return 0
+	}
+	return a.EnergyJ(t) / (t - t0)
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHPESwitchFlat(t *testing.T) {
+	idle := HPESwitchW(0)
+	full := HPESwitchW(1)
+	if idle != 97.5 {
+		t.Fatalf("idle %g", idle)
+	}
+	if math.Abs(full-idle-0.59) > 1e-12 {
+		t.Fatalf("delta %g, want 0.59", full-idle)
+	}
+	// The paper's point: the delta is ~0.6% of idle.
+	if (full-idle)/idle > 0.01 {
+		t.Fatal("switch power should be effectively flat")
+	}
+	if HPESwitchW(-1) != idle || HPESwitchW(2) != full {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestCoreActiveWEndpoints(t *testing.T) {
+	if got := CoreActiveW(FMinGHz); math.Abs(got-CoreMinW) > 1e-9 {
+		t.Fatalf("P(1.2GHz)=%g, want %g", got, CoreMinW)
+	}
+	if got := CoreActiveW(FMaxGHz); math.Abs(got-CoreMaxW) > 1e-9 {
+		t.Fatalf("P(2.7GHz)=%g, want %g", got, CoreMaxW)
+	}
+	// Clamping.
+	if CoreActiveW(0.5) != CoreMinW || CoreActiveW(9) != CoreMaxW {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestCoreActiveWMonotoneConvex(t *testing.T) {
+	grid := FreqGrid()
+	prev := CoreActiveW(grid[0])
+	prevDelta := 0.0
+	for _, f := range grid[1:] {
+		cur := CoreActiveW(f)
+		if cur <= prev {
+			t.Fatalf("power not increasing at %g", f)
+		}
+		delta := cur - prev
+		if delta < prevDelta-1e-9 {
+			t.Fatalf("cubic model should be convex; delta shrank at %g", f)
+		}
+		prev, prevDelta = cur, delta
+	}
+}
+
+func TestFreqGrid(t *testing.T) {
+	grid := FreqGrid()
+	if len(grid) != 16 {
+		t.Fatalf("grid size %d, want 16", len(grid))
+	}
+	if grid[0] != 1.2 || grid[len(grid)-1] != 2.7 {
+		t.Fatalf("grid ends %g..%g", grid[0], grid[len(grid)-1])
+	}
+	for i := 1; i < len(grid); i++ {
+		if math.Abs(grid[i]-grid[i-1]-0.1) > 1e-9 {
+			t.Fatalf("grid step %g at %d", grid[i]-grid[i-1], i)
+		}
+	}
+}
+
+func TestSnapFreq(t *testing.T) {
+	cases := map[float64]float64{
+		1.2:  1.2,
+		1.21: 1.3,
+		1.29: 1.3,
+		1.3:  1.3,
+		2.65: 2.7,
+		2.7:  2.7,
+		0.1:  1.2,
+		5.0:  2.7,
+	}
+	for in, want := range cases {
+		if got := SnapFreq(in); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("SnapFreq(%g)=%g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a := NewAccumulator(0, 10)
+	if err := a.Advance(2, 20); err != nil { // 20 J over [0,2]
+		t.Fatal(err)
+	}
+	if err := a.Advance(3, 0); err != nil { // +20 J over [2,3]
+		t.Fatal(err)
+	}
+	if got := a.EnergyJ(3); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("energy %g, want 40", got)
+	}
+	// Forward integration of current level (0 W) adds nothing.
+	if got := a.EnergyJ(10); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("energy %g, want 40", got)
+	}
+	if got := a.AveragePowerW(0, 4); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("avg %g, want 10", got)
+	}
+	if err := a.Advance(1, 5); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+	if a.AveragePowerW(5, 5) != 0 {
+		t.Fatal("zero-width average must be 0")
+	}
+}
+
+// Property: SnapFreq output is on the grid and >= its clamped input.
+func TestQuickSnapOnGrid(t *testing.T) {
+	grid := FreqGrid()
+	onGrid := func(f float64) bool {
+		for _, g := range grid {
+			if math.Abs(g-f) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(raw uint16) bool {
+		in := float64(raw) / 65535 * 4 // 0..4 GHz
+		out := SnapFreq(in)
+		return onGrid(out) && out >= ClampFreq(in)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accumulator energy equals the Riemann sum of its power steps.
+func TestQuickAccumulatorEnergy(t *testing.T) {
+	f := func(steps []uint8) bool {
+		a := NewAccumulator(0, 1)
+		tcur := 0.0
+		pcur := 1.0
+		want := 0.0
+		for _, s := range steps {
+			dt := float64(s%16) / 4
+			p := float64(s / 16)
+			want += pcur * dt
+			tcur += dt
+			if err := a.Advance(tcur, p); err != nil {
+				return false
+			}
+			pcur = p
+		}
+		return math.Abs(a.EnergyJ(tcur)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

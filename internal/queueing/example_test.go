@@ -1,0 +1,27 @@
+package queueing_test
+
+import (
+	"fmt"
+	"log"
+
+	"eprons/internal/queueing"
+)
+
+// Compare exponential and deterministic service at the same load: the
+// Pollaczek–Khinchine formula halves the wait when variance vanishes.
+func ExampleMG1MeanWait() {
+	lambda, meanS := 0.6, 1.0
+	exp, err := queueing.MG1MeanWait(lambda, meanS, 1) // scv=1: M/M/1
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := queueing.MG1MeanWait(lambda, meanS, 0) // scv=0: M/D/1
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M/M/1 wait: %.2f\n", exp)
+	fmt.Printf("M/D/1 wait: %.2f\n", det)
+	// Output:
+	// M/M/1 wait: 1.50
+	// M/D/1 wait: 0.75
+}

@@ -1,0 +1,110 @@
+// Package queueing provides the classic analytic queueing formulas used to
+// validate the simulators: a discrete-event simulator that disagrees with
+// M/M/1 or M/G/1 theory on the cases theory covers cannot be trusted on
+// the cases it doesn't. The netsim and server test suites check their
+// measured waiting times against these functions.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1MeanWait returns the mean waiting time (queue only, excluding
+// service) in an M/M/1 queue with arrival rate lambda and service rate mu:
+// W_q = ρ/(μ−λ).
+func MM1MeanWait(lambda, mu float64) (float64, error) {
+	if err := stable(lambda, mu); err != nil {
+		return 0, err
+	}
+	rho := lambda / mu
+	return rho / (mu - lambda), nil
+}
+
+// MM1MeanSojourn returns the mean time in system: W = 1/(μ−λ).
+func MM1MeanSojourn(lambda, mu float64) (float64, error) {
+	if err := stable(lambda, mu); err != nil {
+		return 0, err
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// MM1SojournQuantile returns the q-quantile of the (exponential) sojourn
+// time: −ln(1−q)/(μ−λ).
+func MM1SojournQuantile(q, lambda, mu float64) (float64, error) {
+	if err := stable(lambda, mu); err != nil {
+		return 0, err
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("queueing: quantile %g out of (0,1)", q)
+	}
+	return -math.Log(1-q) / (mu - lambda), nil
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean waiting time for an
+// M/G/1 queue with arrival rate lambda and service time with the given
+// mean and squared coefficient of variation (scv = Var/Mean²):
+// W_q = ρ·(1+scv)/2 · E[S]/(1−ρ).
+func MG1MeanWait(lambda, meanS, scv float64) (float64, error) {
+	if meanS <= 0 {
+		return 0, fmt.Errorf("queueing: mean service %g must be positive", meanS)
+	}
+	rho := lambda * meanS
+	if rho >= 1 {
+		return 0, fmt.Errorf("queueing: unstable (rho=%g)", rho)
+	}
+	if scv < 0 {
+		return 0, fmt.Errorf("queueing: negative scv")
+	}
+	return rho * (1 + scv) / 2 * meanS / (1 - rho), nil
+}
+
+// ErlangC returns the probability an arrival waits in an M/M/c queue
+// (the Erlang-C formula) with offered load a = λ/μ and c servers.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("queueing: need at least one server")
+	}
+	if a <= 0 {
+		return 0, nil
+	}
+	if a >= float64(c) {
+		return 0, fmt.Errorf("queueing: unstable (a=%g >= c=%d)", a, c)
+	}
+	// Sum a^k/k! computed iteratively for stability.
+	sum := 1.0
+	term := 1.0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) // a^c/c!
+	top = top / (1 - a/float64(c))
+	return top / (sum + top), nil
+}
+
+// MMcMeanWait returns the mean waiting time in an M/M/c queue.
+func MMcMeanWait(c int, lambda, mu float64) (float64, error) {
+	if mu <= 0 {
+		return 0, fmt.Errorf("queueing: service rate must be positive")
+	}
+	a := lambda / mu
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(c)*mu - lambda), nil
+}
+
+func stable(lambda, mu float64) error {
+	if mu <= 0 {
+		return fmt.Errorf("queueing: service rate %g must be positive", mu)
+	}
+	if lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate")
+	}
+	if lambda >= mu {
+		return fmt.Errorf("queueing: unstable (lambda=%g >= mu=%g)", lambda, mu)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=0.5, μ=1: Wq = 0.5/0.5 = 1, W = 2.
+	wq, err := MM1MeanWait(0.5, 1)
+	if err != nil || math.Abs(wq-1) > 1e-12 {
+		t.Fatalf("Wq=%g err=%v", wq, err)
+	}
+	w, err := MM1MeanSojourn(0.5, 1)
+	if err != nil || math.Abs(w-2) > 1e-12 {
+		t.Fatalf("W=%g err=%v", w, err)
+	}
+	// Median sojourn = ln2/(μ−λ).
+	q, err := MM1SojournQuantile(0.5, 0.5, 1)
+	if err != nil || math.Abs(q-math.Ln2/0.5) > 1e-12 {
+		t.Fatalf("median=%g err=%v", q, err)
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	if _, err := MM1MeanWait(1, 1); err == nil {
+		t.Fatal("unstable accepted")
+	}
+	if _, err := MM1MeanWait(-1, 1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := MM1MeanSojourn(0.5, 0); err == nil {
+		t.Fatal("zero mu accepted")
+	}
+	if _, err := MM1SojournQuantile(1.5, 0.5, 1); err == nil {
+		t.Fatal("quantile out of range accepted")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: scv=1 → PK equals M/M/1.
+	lambda, mu := 0.6, 1.0
+	mm1, _ := MM1MeanWait(lambda, mu)
+	mg1, err := MG1MeanWait(lambda, 1/mu, 1)
+	if err != nil || math.Abs(mg1-mm1) > 1e-12 {
+		t.Fatalf("MG1 %g vs MM1 %g, err=%v", mg1, mm1, err)
+	}
+	// Deterministic service (scv=0) halves the waiting time.
+	det, _ := MG1MeanWait(lambda, 1/mu, 0)
+	if math.Abs(det-mm1/2) > 1e-12 {
+		t.Fatalf("deterministic wait %g, want %g", det, mm1/2)
+	}
+}
+
+func TestMG1Validation(t *testing.T) {
+	if _, err := MG1MeanWait(2, 1, 1); err == nil {
+		t.Fatal("unstable accepted")
+	}
+	if _, err := MG1MeanWait(0.5, 0, 1); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if _, err := MG1MeanWait(0.5, 1, -1); err == nil {
+		t.Fatal("negative scv accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// c=1 reduces to ρ.
+	for _, a := range []float64{0.2, 0.5, 0.9} {
+		pw, err := ErlangC(1, a)
+		if err != nil || math.Abs(pw-a) > 1e-12 {
+			t.Fatalf("ErlangC(1,%g)=%g err=%v", a, pw, err)
+		}
+	}
+	// Published value: c=2, a=1 → C(2,1) = 1/3.
+	pw, err := ErlangC(2, 1)
+	if err != nil || math.Abs(pw-1.0/3) > 1e-9 {
+		t.Fatalf("ErlangC(2,1)=%g, want 1/3 (err=%v)", pw, err)
+	}
+	if v, err := ErlangC(4, 0); err != nil || v != 0 {
+		t.Fatal("zero load must wait with probability 0")
+	}
+	if _, err := ErlangC(2, 2); err == nil {
+		t.Fatal("unstable accepted")
+	}
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestMMcMeanWait(t *testing.T) {
+	// c=1 must equal M/M/1.
+	mm1, _ := MM1MeanWait(0.7, 1)
+	mmc, err := MMcMeanWait(1, 0.7, 1)
+	if err != nil || math.Abs(mmc-mm1) > 1e-12 {
+		t.Fatalf("MMc(1) %g vs MM1 %g", mmc, mm1)
+	}
+	// More servers at the same per-server load wait less.
+	w2, _ := MMcMeanWait(2, 1.4, 1)
+	if w2 >= mm1 {
+		t.Fatalf("2 servers wait %g >= 1 server %g", w2, mm1)
+	}
+	if _, err := MMcMeanWait(2, 1, 0); err == nil {
+		t.Fatal("zero mu accepted")
+	}
+}
+
+// Property: Erlang-C is increasing in offered load and decreasing in
+// server count.
+func TestQuickErlangCMonotone(t *testing.T) {
+	f := func(a8, b8, c8 uint8) bool {
+		c := 1 + int(c8)%8
+		lo := float64(a8) / 256 * float64(c) * 0.9
+		hi := float64(b8) / 256 * float64(c) * 0.9
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pLo, err1 := ErlangC(c, lo)
+		pHi, err2 := ErlangC(c, hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if pLo > pHi+1e-12 {
+			return false
+		}
+		// Adding a server cannot increase the wait probability.
+		pMore, err := ErlangC(c+1, hi)
+		return err == nil && pMore <= pHi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PK waiting time grows with scv.
+func TestQuickMG1MonotoneInVariance(t *testing.T) {
+	f := func(l8, s8a, s8b uint8) bool {
+		lambda := 0.1 + float64(l8)/256*0.8
+		scvA := float64(s8a) / 64
+		scvB := float64(s8b) / 64
+		if scvA > scvB {
+			scvA, scvB = scvB, scvA
+		}
+		wa, err1 := MG1MeanWait(lambda, 1, scvA)
+		wb, err2 := MG1MeanWait(lambda, 1, scvB)
+		return err1 == nil && err2 == nil && wa <= wb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Derive(42, "net")
+	b := Derive(42, "net")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-named streams diverged")
+		}
+	}
+}
+
+func TestStreamIndependenceByName(t *testing.T) {
+	a := Derive(42, "net")
+	b := Derive(42, "server")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names produced %d/100 identical draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.5) > 0.05 {
+		t.Fatalf("exp mean %.4f, want 3.5", mean)
+	}
+}
+
+func TestLogNormalMeanCV(t *testing.T) {
+	s := New(2)
+	const n = 400000
+	wantMean, wantCV := 4.0e-3, 0.8
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.LogNormalMeanCV(wantMean, wantCV)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-wantMean)/wantMean > 0.02 {
+		t.Fatalf("lognormal mean %.6f, want %.6f", mean, wantMean)
+	}
+	if math.Abs(std/mean-wantCV)/wantCV > 0.05 {
+		t.Fatalf("lognormal cv %.4f, want %.4f", std/mean, wantCV)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.BoundedPareto(1.2, 10, 1000)
+		if v < 10-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("pareto variate %g outside [10,1000]", v)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		s := New(4)
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.03 {
+			t.Fatalf("poisson(%g) mean %.3f", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	s := New(5)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	s := New(6)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.Choice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.15 {
+		t.Fatalf("weight ratio %.3f, want 3", ratio)
+	}
+}
+
+func TestChoicePanicsOnZeroWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(7).Choice([]float64{0, -1})
+}
+
+// Property: LogNormalParams round-trips — the analytic mean/cv of the
+// resulting log-normal match the inputs.
+func TestQuickLogNormalParams(t *testing.T) {
+	f := func(m8, c8 uint8) bool {
+		mean := 0.001 + float64(m8)/255*10
+		cv := 0.05 + float64(c8)/255*2
+		mu, sigma := LogNormalParams(mean, cv)
+		gotMean := math.Exp(mu + sigma*sigma/2)
+		gotVar := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+		gotCV := math.Sqrt(gotVar) / gotMean
+		return math.Abs(gotMean-mean)/mean < 1e-9 && math.Abs(gotCV-cv)/cv < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uniform stays in range.
+func TestQuickUniformRange(t *testing.T) {
+	s := New(8)
+	f := func(a, b int16) bool {
+		lo, hi := float64(a), float64(a)+math.Abs(float64(b))+1
+		v := s.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

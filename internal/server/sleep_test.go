@@ -1,0 +1,148 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+)
+
+func sleepServer(t *testing.T, eng *sim.Engine, wake float64) *Server {
+	t.Helper()
+	s, err := New(eng, Config{
+		Cores: 1, Alpha: 0.9, FMaxGHz: power.FMaxGHz,
+		PolicyFactory:   func(int) Policy { return fixedPolicy{power.FMaxGHz} },
+		Sleep:           true,
+		SleepAfterIdleS: 1e-3,
+		WakeLatencyS:    wake,
+		SleepPowerW:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSleepEntersAfterIdleTimeout(t *testing.T) {
+	eng := sim.New()
+	s := sleepServer(t, eng, 100e-6)
+	s.Enqueue(&Request{ID: 1, Arrival: 0, BaseServiceS: 2e-3, ServerDeadline: 1, SlackDeadline: 1})
+	// Request done at 2 ms; sleep at 3 ms; measure energy up to 10 ms.
+	eng.Run(10e-3)
+	eng.RunAll()
+	// 2 ms active (4.4 W) + 1 ms idle (0.4 W) + 7 ms asleep (0.05 W).
+	want := power.CoreMaxW*2e-3 + power.CoreIdleW*1e-3 + 0.05*7e-3
+	if got := s.CPUEnergyJ(10e-3); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %g, want %g", got, want)
+	}
+}
+
+func TestWakeLatencyDelaysService(t *testing.T) {
+	eng := sim.New()
+	s := sleepServer(t, eng, 100e-6)
+	var finishes []float64
+	s.OnComplete = func(r *Request, at float64) { finishes = append(finishes, at) }
+	s.Enqueue(&Request{ID: 1, Arrival: 0, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	// Second request arrives at 5 ms (core asleep since 2 ms).
+	eng.Schedule(5e-3, func() {
+		s.Enqueue(&Request{ID: 2, Arrival: 5e-3, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	})
+	eng.RunAll()
+	if len(finishes) != 2 {
+		t.Fatalf("completed %d", len(finishes))
+	}
+	// finish = 5ms + 100µs wake + 1ms service.
+	want := 5e-3 + 100e-6 + 1e-3
+	if math.Abs(finishes[1]-want) > 1e-9 {
+		t.Fatalf("finish %g, want %g (wake latency missing?)", finishes[1], want)
+	}
+	if s.Wakes() != 1 {
+		t.Fatalf("wakes %d, want 1", s.Wakes())
+	}
+}
+
+func TestArrivalBeforeSleepCancelsTimeout(t *testing.T) {
+	eng := sim.New()
+	s := sleepServer(t, eng, 100e-6)
+	var finishes []float64
+	s.OnComplete = func(r *Request, at float64) { finishes = append(finishes, at) }
+	s.Enqueue(&Request{ID: 1, Arrival: 0, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	// Arrives at 1.5 ms — idle only 0.5 ms, before the 1 ms sleep timeout:
+	// no wake latency.
+	eng.Schedule(1.5e-3, func() {
+		s.Enqueue(&Request{ID: 2, Arrival: 1.5e-3, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	})
+	eng.RunAll()
+	want := 1.5e-3 + 1e-3
+	if math.Abs(finishes[1]-want) > 1e-9 {
+		t.Fatalf("finish %g, want %g (spurious wake latency?)", finishes[1], want)
+	}
+	if s.Wakes() != 0 {
+		t.Fatalf("wakes %d, want 0", s.Wakes())
+	}
+}
+
+func TestBurstDuringWakeIsQueued(t *testing.T) {
+	eng := sim.New()
+	s := sleepServer(t, eng, 200e-6)
+	var finishes int
+	s.OnComplete = func(r *Request, at float64) { finishes++ }
+	s.Enqueue(&Request{ID: 1, Arrival: 0, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	// Sleep from 3 ms; two arrivals 50 µs apart land during the wake.
+	eng.Schedule(5e-3, func() {
+		s.Enqueue(&Request{ID: 2, Arrival: 5e-3, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	})
+	eng.Schedule(5.05e-3, func() {
+		s.Enqueue(&Request{ID: 3, Arrival: 5.05e-3, BaseServiceS: 1e-3, ServerDeadline: 1, SlackDeadline: 1})
+	})
+	eng.RunAll()
+	if finishes != 3 {
+		t.Fatalf("completed %d, want 3", finishes)
+	}
+	if s.Wakes() != 1 {
+		t.Fatalf("wakes %d, want exactly 1 for the burst", s.Wakes())
+	}
+}
+
+func TestSleepSavesEnergyAtLowLoad(t *testing.T) {
+	run := func(sleep bool) float64 {
+		eng := sim.New()
+		cfg := Config{
+			Cores: 2, Alpha: 0.9, FMaxGHz: power.FMaxGHz,
+			PolicyFactory: func(int) Policy { return fixedPolicy{power.FMaxGHz} },
+			Sleep:         sleep,
+		}
+		s, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := rng.New(5)
+		smp := rng.New(6)
+		var id int64
+		var arrive func()
+		arrive = func() {
+			now := eng.Now()
+			id++
+			s.Enqueue(&Request{ID: id, Arrival: now, BaseServiceS: smp.Uniform(1e-3, 3e-3), ServerDeadline: now + 1, SlackDeadline: now + 1})
+			if now < 5 {
+				eng.After(arr.Exp(20e-3), arrive) // ~10% utilization
+			}
+		}
+		arrive()
+		eng.Run(6)
+		eng.RunAll()
+		return s.CPUPowerW(0, eng.Now())
+	}
+	base := run(false)
+	slept := run(true)
+	if slept >= base {
+		t.Fatalf("sleep did not save energy at low load: %.3f vs %.3f", slept, base)
+	}
+	// At 10% utilization the idle power dominates: sleep should cut total
+	// CPU power substantially.
+	if slept > 0.6*base {
+		t.Fatalf("sleep saving too small: %.3f vs %.3f", slept, base)
+	}
+}

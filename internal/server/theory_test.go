@@ -1,0 +1,70 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"eprons/internal/metrics"
+	"eprons/internal/power"
+	"eprons/internal/queueing"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+	"eprons/internal/workload"
+)
+
+// TestMG1TheoryAgreement validates the server simulator against the
+// Pollaczek–Khinchine formula: a single core at fixed maximum frequency
+// under Poisson arrivals is an M/G/1 queue whose mean waiting time is
+// fully determined by the service distribution's mean and variance.
+func TestMG1TheoryAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanS := base.Mean()
+	scv := base.Var() / (meanS * meanS)
+
+	for _, util := range []float64{0.3, 0.6} {
+		eng := sim.New()
+		srv, err := New(eng, Config{Cores: 1, Alpha: 0.9, FMaxGHz: power.FMaxGHz,
+			PolicyFactory: func(int) Policy { return fixedPolicy{power.FMaxGHz} }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wait metrics.Tracker
+		srv.OnComplete = func(r *Request, at float64) {
+			// At fmax the stretch is exactly 1, so waiting time is
+			// latency minus the request's own service time.
+			wait.Add(at - r.Arrival - r.BaseServiceS)
+		}
+		lambda := util / meanS
+		arr := rng.New(int64(7 + util*100))
+		smp := workload.NewSampler(base, int64(11+util*100))
+		var arrive func()
+		var id int64
+		arrive = func() {
+			now := eng.Now()
+			id++
+			srv.Enqueue(&Request{ID: id, Arrival: now, BaseServiceS: smp.Draw(), ServerDeadline: now + 10, SlackDeadline: now + 10})
+			if now < 400 {
+				eng.After(arr.Exp(1/lambda), arrive)
+			}
+		}
+		arrive()
+		eng.Run(500)
+		eng.RunAll()
+
+		want, err := queueing.MG1MeanWait(lambda, meanS, scv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := wait.Mean()
+		if rel := math.Abs(got-want) / want; rel > 0.08 {
+			t.Fatalf("util %.1f: measured wait %.3fms vs M/G/1 theory %.3fms (%.1f%% off, %d samples)",
+				util, got*1e3, want*1e3, rel*100, wait.Count())
+		}
+	}
+}

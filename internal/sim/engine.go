@@ -1,0 +1,158 @@
+// Package sim provides the discrete-event simulation engine that underlies
+// the network simulator, the server simulator and the full-system EPRONS
+// runner. Time is a float64 measured in seconds. Events scheduled for the
+// same instant fire in scheduling order, which keeps runs deterministic for
+// a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventID identifies a scheduled event so that it can be cancelled.
+type EventID int64
+
+// event is a heap entry. Cancellation is lazy: cancelled entries stay in the
+// heap but are skipped when popped.
+type event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use with the clock at t=0.
+type Engine struct {
+	heap    eventHeap
+	now     float64
+	seq     int64
+	pending map[EventID]*event
+	stopped bool
+	// Processed counts events executed so far (skipping cancelled ones).
+	Processed int64
+}
+
+// New returns an engine with the clock at t=0.
+func New() *Engine {
+	return &Engine{pending: make(map[EventID]*event)}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Len() int { return len(e.heap) }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently reordering time
+// would corrupt every downstream measurement.
+func (e *Engine) Schedule(at float64, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
+	}
+	if e.pending == nil {
+		e.pending = make(map[EventID]*event)
+	}
+	e.seq++
+	ev := &event{time: at, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	id := EventID(e.seq)
+	e.pending[id] = ev
+	return id
+}
+
+// After registers fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) EventID {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.pending[id]
+	if !ok {
+		return false
+	}
+	ev.cancelled = true
+	delete(e.pending, id)
+	return true
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains or the next
+// event would fire after until. The clock is left at the time of the last
+// executed event (or at until if it advanced past every event).
+func (e *Engine) Run(until float64) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		if next.cancelled {
+			continue
+		}
+		delete(e.pending, EventID(next.seq))
+		e.now = next.time
+		e.Processed++
+		next.fn()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes every scheduled event regardless of time. It is intended
+// for closed simulations that schedule a bounded number of events.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := heap.Pop(&e.heap).(*event)
+		if next.cancelled {
+			continue
+		}
+		delete(e.pending, EventID(next.seq))
+		e.now = next.time
+		e.Processed++
+		next.fn()
+	}
+}

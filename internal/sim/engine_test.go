@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrdersByTime(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 0.5, 2.5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run(10)
+	want := []float64{0.5, 1, 2, 2.5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %g, want %g", i, got[i], want[i])
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %g, want 10", e.Now())
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1.0, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.Schedule(1, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second cancel should fail")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	id := e.Schedule(1, func() {})
+	e.RunAll()
+	if e.Cancel(id) {
+		t.Fatal("cancel after fire should return false")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e := New()
+	e.Schedule(5, func() {})
+	e.Run(10)
+	e.Schedule(1, func() {})
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := New()
+	var times []float64
+	var step func()
+	step = func() {
+		times = append(times, e.Now())
+		if len(times) < 4 {
+			e.After(0.25, step)
+		}
+	}
+	e.After(0.25, step)
+	e.Run(100)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	for i := range want {
+		if diff := times[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("step %d at %g, want %g", i, times[i], want[i])
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(5, func() { fired++ })
+	e.Run(2)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock %g, want 2", e.Now())
+	}
+	e.Run(10)
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+}
+
+// Property: for any set of non-negative offsets, RunAll fires events in
+// non-decreasing time order and fires all of them exactly once.
+func TestQuickExecutionOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []float64
+		for _, r := range raw {
+			at := float64(r) / 100
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of schedule/cancel never fire a cancelled
+// event and always fire every non-cancelled one.
+func TestQuickCancelConsistency(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		fired := map[EventID]bool{}
+		live := map[EventID]bool{}
+		ids := []EventID{}
+		for i := 0; i < int(n); i++ {
+			id := e.Schedule(r.Float64()*100, func() {})
+			// Re-wrap with tracking closure: schedule a tracked twin.
+			_ = id
+		}
+		// Simpler: schedule tracked events directly.
+		e = New()
+		for i := 0; i < int(n); i++ {
+			var id EventID
+			id = e.Schedule(r.Float64()*100, func() { fired[id] = true })
+			live[id] = true
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if r.Intn(2) == 0 {
+				e.Cancel(id)
+				delete(live, id)
+			}
+		}
+		e.RunAll()
+		if len(fired) != len(live) {
+			return false
+		}
+		for id := range live {
+			if !fired[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1024; j++ {
+			e.Schedule(float64(j%97), func() {})
+		}
+		e.RunAll()
+	}
+}

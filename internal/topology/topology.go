@@ -1,0 +1,483 @@
+// Package topology provides the graph substrate for data-center networks:
+// typed nodes (hosts and switch tiers), undirected capacitated links with
+// power attributes, active-set (ON/OFF) views used by traffic consolidation,
+// and connectivity checks.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID indexes a node within a Graph.
+type NodeID int
+
+// LinkID indexes a link within a Graph.
+type LinkID int
+
+// Kind classifies a node.
+type Kind int
+
+// Node kinds. The switch tiers follow fat-tree naming but nothing in this
+// package assumes a particular topology.
+const (
+	Host Kind = iota
+	EdgeSwitch
+	AggSwitch
+	CoreSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case EdgeSwitch:
+		return "edge"
+	case AggSwitch:
+		return "agg"
+	case CoreSwitch:
+		return "core"
+	}
+	return "?"
+}
+
+// IsSwitch reports whether the kind is one of the switch tiers.
+func (k Kind) IsSwitch() bool { return k != Host }
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID     NodeID
+	Name   string
+	Kind   Kind
+	PowerW float64 // power drawn while the node is active (0 for hosts: server power is accounted separately)
+}
+
+// Link is an undirected edge with symmetric per-direction capacity.
+type Link struct {
+	ID          LinkID
+	A, B        NodeID
+	CapacityBps float64
+	PowerW      float64 // power drawn while the link (both port pairs) is active
+}
+
+// Other returns the endpoint of l that is not from.
+func (l Link) Other(from NodeID) NodeID {
+	if from == l.A {
+		return l.B
+	}
+	return l.A
+}
+
+// DirIndex returns a stable per-direction index for a full-duplex link:
+// 2*ID for the A→B direction and 2*ID+1 for B→A. Capacity, reservation
+// and utilization are all per direction (the antisymmetric flow variables
+// of eq. 4 in the paper).
+func (l Link) DirIndex(from NodeID) int {
+	if from == l.A {
+		return 2 * int(l.ID)
+	}
+	return 2*int(l.ID) + 1
+}
+
+// Graph is an undirected multigraph. Nodes and links are append-only; the
+// active/inactive state lives in ActiveSet views so that many consolidation
+// candidates can share one Graph.
+type Graph struct {
+	nodes []Node
+	links []Link
+	adj   [][]LinkID
+	index map[[2]NodeID]LinkID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[[2]NodeID]LinkID)}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name string, kind Kind, powerW float64) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind, PowerW: powerW})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink appends an undirected link and returns its ID. Duplicate links
+// between the same pair are rejected.
+func (g *Graph) AddLink(a, b NodeID, capacityBps, powerW float64) (LinkID, error) {
+	if a == b {
+		return 0, fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	key := linkKey(a, b)
+	if _, dup := g.index[key]; dup {
+		return 0, fmt.Errorf("topology: duplicate link %s-%s", g.nodes[a].Name, g.nodes[b].Name)
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, CapacityBps: capacityBps, PowerW: powerW})
+	g.adj[a] = append(g.adj[a], id)
+	g.adj[b] = append(g.adj[b], id)
+	g.index[key] = id
+	return id, nil
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns node metadata.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Link returns link metadata.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Nodes returns all nodes (shared slice; do not mutate).
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Links returns all links (shared slice; do not mutate).
+func (g *Graph) Links() []Link { return g.links }
+
+// LinksAt returns the IDs of links incident to n (shared slice).
+func (g *Graph) LinksAt(n NodeID) []LinkID { return g.adj[n] }
+
+// FindLink returns the link between a and b if one exists.
+func (g *Graph) FindLink(a, b NodeID) (LinkID, bool) {
+	id, ok := g.index[linkKey(a, b)]
+	return id, ok
+}
+
+// Path is a node sequence from source to destination host. Consecutive
+// nodes must be joined by a link in the graph.
+type Path []NodeID
+
+// Links resolves a path to its link IDs. It panics if consecutive nodes are
+// not adjacent, which always indicates a routing bug.
+func (p Path) Links(g *Graph) []LinkID {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]LinkID, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		id, ok := g.FindLink(p[i], p[i+1])
+		if !ok {
+			panic(fmt.Sprintf("topology: path hop %s-%s has no link", g.nodes[p[i]].Name, g.nodes[p[i+1]].Name))
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// DirLinks resolves a path to directed-link indices (see Link.DirIndex).
+func (p Path) DirLinks(g *Graph) []int {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		id, ok := g.FindLink(p[i], p[i+1])
+		if !ok {
+			panic(fmt.Sprintf("topology: path hop %s-%s has no link", g.nodes[p[i]].Name, g.nodes[p[i+1]].Name))
+		}
+		out = append(out, g.links[id].DirIndex(p[i]))
+	}
+	return out
+}
+
+// Valid reports whether every consecutive pair of path nodes is adjacent.
+func (p Path) Valid(g *Graph) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if _, ok := g.FindLink(p[i], p[i+1]); !ok {
+			return false
+		}
+	}
+	return len(p) >= 1
+}
+
+// ActiveSet records which switches and links are powered on. Hosts are
+// always considered on. The zero value is unusable; create with
+// NewActiveSet.
+type ActiveSet struct {
+	g      *Graph
+	nodeOn []bool
+	linkOn []bool
+}
+
+// NewActiveSet returns a view with every node and link powered on.
+func NewActiveSet(g *Graph) *ActiveSet {
+	a := &ActiveSet{
+		g:      g,
+		nodeOn: make([]bool, g.NumNodes()),
+		linkOn: make([]bool, g.NumLinks()),
+	}
+	for i := range a.nodeOn {
+		a.nodeOn[i] = true
+	}
+	for i := range a.linkOn {
+		a.linkOn[i] = true
+	}
+	return a
+}
+
+// NewEmptyActiveSet returns a view with only hosts on and all switches and
+// links off; consolidation builds the active subnet up from it.
+func NewEmptyActiveSet(g *Graph) *ActiveSet {
+	a := &ActiveSet{
+		g:      g,
+		nodeOn: make([]bool, g.NumNodes()),
+		linkOn: make([]bool, g.NumLinks()),
+	}
+	for i, n := range g.nodes {
+		if n.Kind == Host {
+			a.nodeOn[i] = true
+		}
+	}
+	return a
+}
+
+// Clone returns a deep copy.
+func (a *ActiveSet) Clone() *ActiveSet {
+	b := &ActiveSet{g: a.g, nodeOn: make([]bool, len(a.nodeOn)), linkOn: make([]bool, len(a.linkOn))}
+	copy(b.nodeOn, a.nodeOn)
+	copy(b.linkOn, a.linkOn)
+	return b
+}
+
+// SetNode powers a node on or off. Hosts cannot be powered off.
+func (a *ActiveSet) SetNode(id NodeID, on bool) {
+	if a.g.nodes[id].Kind == Host && !on {
+		panic("topology: cannot power off a host")
+	}
+	a.nodeOn[id] = on
+}
+
+// SetLink powers a link on or off. Powering a link on also powers both its
+// endpoints on (a live link needs live switches, eq. 7 of the paper).
+func (a *ActiveSet) SetLink(id LinkID, on bool) {
+	a.linkOn[id] = on
+	if on {
+		l := a.g.links[id]
+		if a.g.nodes[l.A].Kind.IsSwitch() {
+			a.nodeOn[l.A] = true
+		}
+		if a.g.nodes[l.B].Kind.IsSwitch() {
+			a.nodeOn[l.B] = true
+		}
+	}
+}
+
+// NodeOn reports whether a node is powered.
+func (a *ActiveSet) NodeOn(id NodeID) bool { return a.nodeOn[id] }
+
+// LinkOn reports whether a link is powered.
+func (a *ActiveSet) LinkOn(id LinkID) bool { return a.linkOn[id] }
+
+// PathOn reports whether every node and link on the path is powered.
+func (a *ActiveSet) PathOn(p Path) bool {
+	for _, n := range p {
+		if !a.nodeOn[n] {
+			return false
+		}
+	}
+	for _, l := range p.Links(a.g) {
+		if !a.linkOn[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize powers off any switch all of whose links are off, and
+// powers off links with a powered-off endpoint — enforcing the consistency
+// constraints (7) and (8) of the paper's model. It iterates to a fixed
+// point.
+func (a *ActiveSet) Normalize() {
+	for changed := true; changed; {
+		changed = false
+		for i, l := range a.g.links {
+			if a.linkOn[i] && (!a.nodeOn[l.A] || !a.nodeOn[l.B]) {
+				a.linkOn[i] = false
+				changed = true
+			}
+		}
+		for i, n := range a.g.nodes {
+			if !n.Kind.IsSwitch() || !a.nodeOn[i] {
+				continue
+			}
+			any := false
+			for _, lid := range a.g.adj[i] {
+				if a.linkOn[lid] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				a.nodeOn[i] = false
+				changed = true
+			}
+		}
+	}
+}
+
+// ActiveSwitches returns the number of powered switches.
+func (a *ActiveSet) ActiveSwitches() int {
+	n := 0
+	for i, node := range a.g.nodes {
+		if node.Kind.IsSwitch() && a.nodeOn[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveLinks returns the number of powered links.
+func (a *ActiveSet) ActiveLinks() int {
+	n := 0
+	for _, on := range a.linkOn {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// NetworkPowerW returns the power of all active switches and links — the
+// network portion of objective (2).
+func (a *ActiveSet) NetworkPowerW() float64 {
+	p := 0.0
+	for i, n := range a.g.nodes {
+		if n.Kind.IsSwitch() && a.nodeOn[i] {
+			p += n.PowerW
+		}
+	}
+	for i, l := range a.g.links {
+		if a.linkOn[i] {
+			p += l.PowerW
+		}
+	}
+	return p
+}
+
+// HostsConnected reports whether every pair of hosts can reach each other
+// through powered nodes and links.
+func (a *ActiveSet) HostsConnected() bool {
+	var first NodeID = -1
+	hosts := 0
+	for i, n := range a.g.nodes {
+		if n.Kind == Host {
+			hosts++
+			if first < 0 {
+				first = NodeID(i)
+			}
+		}
+	}
+	if hosts <= 1 {
+		return true
+	}
+	seen := make([]bool, a.g.NumNodes())
+	queue := []NodeID{first}
+	seen[first] = true
+	reached := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, lid := range a.g.adj[n] {
+			if !a.linkOn[lid] {
+				continue
+			}
+			o := a.g.links[lid].Other(n)
+			if seen[o] || !a.nodeOn[o] {
+				continue
+			}
+			seen[o] = true
+			if a.g.nodes[o].Kind == Host {
+				reached++
+			}
+			queue = append(queue, o)
+		}
+	}
+	return reached == hosts
+}
+
+// ShortestActivePath returns a minimum-hop path between two nodes using
+// only powered elements, or nil if none exists.
+func (a *ActiveSet) ShortestActivePath(src, dst NodeID) Path {
+	if src == dst {
+		return Path{src}
+	}
+	prev := make([]NodeID, a.g.NumNodes())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, lid := range a.g.adj[n] {
+			if !a.linkOn[lid] {
+				continue
+			}
+			o := a.g.links[lid].Other(n)
+			if prev[o] != -1 || !a.nodeOn[o] {
+				continue
+			}
+			prev[o] = n
+			if o == dst {
+				var path Path
+				for cur := dst; ; cur = prev[cur] {
+					path = append(Path{cur}, path...)
+					if cur == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, o)
+		}
+	}
+	return nil
+}
+
+// MaxPower returns the network power with everything on, useful for
+// normalizing savings percentages.
+func (g *Graph) MaxPower() float64 {
+	p := 0.0
+	for _, n := range g.nodes {
+		if n.Kind.IsSwitch() {
+			p += n.PowerW
+		}
+	}
+	for _, l := range g.links {
+		p += l.PowerW
+	}
+	return p
+}
+
+// Validate checks structural invariants: link endpoints in range, positive
+// capacities, finite powers.
+func (g *Graph) Validate() error {
+	for _, l := range g.links {
+		if l.A < 0 || int(l.A) >= len(g.nodes) || l.B < 0 || int(l.B) >= len(g.nodes) {
+			return fmt.Errorf("topology: link %d endpoint out of range", l.ID)
+		}
+		if l.CapacityBps <= 0 {
+			return fmt.Errorf("topology: link %d capacity %g", l.ID, l.CapacityBps)
+		}
+		if math.IsNaN(l.PowerW) || math.IsInf(l.PowerW, 0) {
+			return fmt.Errorf("topology: link %d power not finite", l.ID)
+		}
+	}
+	for _, n := range g.nodes {
+		if math.IsNaN(n.PowerW) || math.IsInf(n.PowerW, 0) {
+			return fmt.Errorf("topology: node %q power not finite", n.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Intensity is any time-varying load curve; both the synthetic Trace and
+// measured SampledTrace implement it, so experiments accept either (the
+// paper drives Fig 15 from the measured Wikipedia trace; this repo ships
+// the synthetic equivalent and loads measured CSVs when available).
+type Intensity interface {
+	At(t float64) float64
+}
+
+// Compile-time checks.
+var (
+	_ Intensity = Trace{}
+	_ Intensity = (*SampledTrace)(nil)
+)
+
+// SampledTrace is a measured intensity curve: (time, value) samples with
+// piecewise-linear interpolation, wrapping periodically if Period > 0.
+type SampledTrace struct {
+	// Times are ascending sample instants (seconds); Values their
+	// intensities.
+	Times  []float64
+	Values []float64
+	// Period wraps queries outside the sampled range (e.g. 24 h); 0
+	// clamps instead.
+	Period float64
+}
+
+// NewSampledTrace validates and builds a trace.
+func NewSampledTrace(times, values []float64, period float64) (*SampledTrace, error) {
+	if len(times) == 0 || len(times) != len(values) {
+		return nil, fmt.Errorf("workload: need equal, non-empty times/values (%d/%d)", len(times), len(values))
+	}
+	if !sort.Float64sAreSorted(times) {
+		return nil, fmt.Errorf("workload: sample times must be ascending")
+	}
+	if period > 0 && times[len(times)-1] >= period {
+		return nil, fmt.Errorf("workload: samples extend past the period")
+	}
+	return &SampledTrace{Times: times, Values: values, Period: period}, nil
+}
+
+// At returns the interpolated intensity at time t.
+func (s *SampledTrace) At(t float64) float64 {
+	if s.Period > 0 {
+		t = t - float64(int(t/s.Period))*s.Period
+		if t < 0 {
+			t += s.Period
+		}
+	}
+	n := len(s.Times)
+	if t <= s.Times[0] {
+		if s.Period > 0 && n > 1 {
+			// Wrap interpolation between the last and first sample.
+			span := s.Period - s.Times[n-1] + s.Times[0]
+			f := (t + s.Period - s.Times[n-1]) / span
+			return s.Values[n-1] + f*(s.Values[0]-s.Values[n-1])
+		}
+		return s.Values[0]
+	}
+	if t >= s.Times[n-1] {
+		if s.Period > 0 && n > 1 {
+			span := s.Period - s.Times[n-1] + s.Times[0]
+			f := (t - s.Times[n-1]) / span
+			return s.Values[n-1] + f*(s.Values[0]-s.Values[n-1])
+		}
+		return s.Values[n-1]
+	}
+	i := sort.SearchFloat64s(s.Times, t)
+	if s.Times[i] == t {
+		return s.Values[i]
+	}
+	lo, hi := i-1, i
+	f := (t - s.Times[lo]) / (s.Times[hi] - s.Times[lo])
+	return s.Values[lo] + f*(s.Values[hi]-s.Values[lo])
+}
+
+// LoadTraceCSV reads a two-column CSV ("seconds,value"; '#' comments and a
+// non-numeric header row are skipped) into a SampledTrace with the given
+// period.
+func LoadTraceCSV(r io.Reader, period float64) (*SampledTrace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var times, values []float64
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("workload: line %d: need time,value", lineNo+1)
+		}
+		tv, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		vv, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			if lineNo == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("workload: line %d: not numeric", lineNo+1)
+		}
+		times = append(times, tv)
+		values = append(values, vv)
+	}
+	return NewSampledTrace(times, values, period)
+}

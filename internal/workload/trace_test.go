@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustSampled(t *testing.T, times, values []float64, period float64) *SampledTrace {
+	t.Helper()
+	s, err := NewSampledTrace(times, values, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampledTraceValidation(t *testing.T) {
+	if _, err := NewSampledTrace(nil, nil, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewSampledTrace([]float64{0, 1}, []float64{1}, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewSampledTrace([]float64{1, 0}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := NewSampledTrace([]float64{0, 10}, []float64{1, 2}, 5); err == nil {
+		t.Fatal("samples past period accepted")
+	}
+}
+
+func TestSampledTraceInterpolation(t *testing.T) {
+	s := mustSampled(t, []float64{0, 10, 20}, []float64{1, 3, 2}, 0)
+	cases := map[float64]float64{
+		0: 1, 5: 2, 10: 3, 15: 2.5, 20: 2,
+		-5: 1, 99: 2, // clamped without a period
+	}
+	for in, want := range cases {
+		if got := s.At(in); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("At(%g)=%g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestSampledTracePeriodicWrap(t *testing.T) {
+	// Samples at 2 and 8 in a period of 10: t=9..12 interpolates across
+	// the wrap back to t=2's value.
+	s := mustSampled(t, []float64{2, 8}, []float64{0, 4}, 10)
+	if got := s.At(12); math.Abs(got-s.At(2)) > 1e-12 {
+		t.Fatalf("periodic At(12)=%g, want At(2)=%g", got, s.At(2))
+	}
+	// Midpoint of the wrap segment (8 → 12): t=10 → halfway 4→0 = 2.
+	if got := s.At(10); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("wrap midpoint %g, want 2", got)
+	}
+	// One sample degenerates to a constant.
+	c := mustSampled(t, []float64{1}, []float64{7}, 10)
+	for _, in := range []float64{0, 1, 5, 25} {
+		if c.At(in) != 7 {
+			t.Fatalf("constant trace At(%g)=%g", in, c.At(in))
+		}
+	}
+}
+
+func TestLoadTraceCSV(t *testing.T) {
+	csv := `time,value
+# measured wikipedia-style load
+0,0.3
+3600, 0.5
+7200,0.9
+`
+	s, err := LoadTraceCSV(strings.NewReader(csv), 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(1800); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("At(1800)=%g, want 0.4", got)
+	}
+	if _, err := LoadTraceCSV(strings.NewReader("0\n"), 0); err == nil {
+		t.Fatal("single-column accepted")
+	}
+	if _, err := LoadTraceCSV(strings.NewReader("0,1\nx,y\n"), 0); err == nil {
+		t.Fatal("non-numeric body accepted")
+	}
+}
+
+func TestIntensityInterface(t *testing.T) {
+	// The diurnal experiment accepts either synthetic or measured traces.
+	var curves []Intensity = []Intensity{SearchLoadTrace(), mustSampled(t, []float64{0}, []float64{0.5}, 0)}
+	for _, c := range curves {
+		if v := c.At(0); v < 0 || v > 1 {
+			t.Fatalf("intensity %g out of range", v)
+		}
+	}
+}
+
+// Property: interpolation stays within the min/max of the samples.
+func TestQuickSampledTraceBounds(t *testing.T) {
+	f := func(raw []uint8, q uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		times := make([]float64, len(raw))
+		values := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			times[i] = float64(i * 10)
+			values[i] = float64(v)
+			if values[i] < min {
+				min = values[i]
+			}
+			if values[i] > max {
+				max = values[i]
+			}
+		}
+		s, err := NewSampledTrace(times, values, float64(len(raw)*10))
+		if err != nil {
+			return false
+		}
+		got := s.At(float64(q) / 65535 * float64(len(raw)*20))
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package workload generates the paper's workloads:
+//
+//   - a Xapian-like service-time distribution for search sub-queries
+//     (substituting a parameterized heavy-tailed log-normal for the
+//     authors' measured 100K-query Wikipedia/Xapian log — EPRONS-Server
+//     consumes only the empirical PDF, see DESIGN.md),
+//   - diurnal 24-hour traces for search load and background traffic
+//     (Fig 14's shapes: load peaks during the day and bottoms out at
+//     night), and
+//   - Poisson arrival-rate helpers.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"eprons/internal/dist"
+	"eprons/internal/rng"
+)
+
+// ServiceConfig shapes the synthetic sub-query service-time distribution.
+type ServiceConfig struct {
+	// MeanS is the mean service time at fmax (default 4 ms — Xapian
+	// ISN-scale, "request processing time usually falls in the
+	// millisecond range", §III-C).
+	MeanS float64
+	// CV is the coefficient of variation (default 0.65 — heavy enough
+	// for a visible tail, stable enough for 95th-percentile SLAs).
+	CV float64
+	// MaxS truncates the distribution (default 10×mean).
+	MaxS float64
+	// Step is the lattice step of the returned distribution (default
+	// mean/40).
+	Step float64
+	// Samples sets how many draws build the empirical PDF (default 50000).
+	Samples int
+	// Seed makes the distribution deterministic (default 1).
+	Seed int64
+
+	// BimodalFrac mixes in a second, slower mode: a fraction of queries
+	// (e.g. 0.1) drawn with BimodalMeanS mean — the short-lookup vs
+	// long-analytical split real search traffic shows. 0 disables.
+	BimodalFrac float64
+	// BimodalMeanS is the slow mode's mean (default 4× MeanS).
+	BimodalMeanS float64
+}
+
+// DefaultServiceConfig returns the documented defaults.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{MeanS: 4e-3, CV: 0.65, Samples: 50000, Seed: 1}
+}
+
+func (c *ServiceConfig) fill() error {
+	if c.MeanS <= 0 {
+		return fmt.Errorf("workload: mean service time must be positive")
+	}
+	if c.CV <= 0 {
+		return fmt.Errorf("workload: cv must be positive")
+	}
+	if c.MaxS <= 0 {
+		c.MaxS = 10 * c.MeanS
+	}
+	if c.Step <= 0 {
+		c.Step = c.MeanS / 40
+	}
+	if c.Samples <= 0 {
+		c.Samples = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BimodalFrac < 0 || c.BimodalFrac >= 1 {
+		return fmt.Errorf("workload: bimodal fraction %g out of [0,1)", c.BimodalFrac)
+	}
+	if c.BimodalFrac > 0 && c.BimodalMeanS <= 0 {
+		c.BimodalMeanS = 4 * c.MeanS
+	}
+	return nil
+}
+
+// ServiceDist builds the empirical base service-time distribution by
+// sampling a truncated log-normal — the role the measured Xapian log plays
+// in the paper (§V-A).
+func ServiceDist(cfg ServiceConfig) (*dist.Discrete, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	stream := rng.Derive(cfg.Seed, "service-dist")
+	samples := make([]float64, cfg.Samples)
+	slowCap := cfg.MaxS
+	if cfg.BimodalFrac > 0 && cfg.BimodalMeanS*3 > slowCap {
+		slowCap = cfg.BimodalMeanS * 3
+	}
+	for i := range samples {
+		mean, limit := cfg.MeanS, cfg.MaxS
+		if cfg.BimodalFrac > 0 && stream.Float64() < cfg.BimodalFrac {
+			mean, limit = cfg.BimodalMeanS, slowCap
+		}
+		v := stream.LogNormalMeanCV(mean, cfg.CV)
+		if v > limit {
+			v = limit
+		}
+		samples[i] = v
+	}
+	return dist.FromSamples(cfg.Step, samples)
+}
+
+// Sampler draws actual service times from the same empirical distribution
+// the policies model, keeping simulation and model consistent.
+type Sampler struct {
+	D      *dist.Discrete
+	stream *rng.Stream
+}
+
+// NewSampler returns a sampler over d using its own derived stream.
+func NewSampler(d *dist.Discrete, seed int64) *Sampler {
+	return &Sampler{D: d, stream: rng.Derive(seed, "service-sampler")}
+}
+
+// Draw returns one base service time.
+func (s *Sampler) Draw() float64 { return s.D.Sample(s.stream.Float64()) }
+
+// Trace is a deterministic periodic intensity function in [Min, Max],
+// shaped like the measured diurnal curves of Fig 14: a dominant 24-hour
+// cosine plus two small harmonics for realism. Values are fractions (of
+// peak search load, or of link bandwidth).
+type Trace struct {
+	PeriodS  float64
+	Min, Max float64
+	// PhaseS shifts the peak (0 puts the trough at t=0, matching a trace
+	// that starts at midnight).
+	PhaseS float64
+	// Wobble adds deterministic harmonics as a fraction of the range
+	// (default 0.05).
+	Wobble float64
+}
+
+// At returns the intensity at time t seconds, always within [Min, Max].
+func (tr Trace) At(t float64) float64 {
+	if tr.PeriodS <= 0 {
+		return tr.Min
+	}
+	phase := 2 * math.Pi * (t - tr.PhaseS) / tr.PeriodS
+	base := (1 - math.Cos(phase)) / 2 // 0 at t=PhaseS, 1 half a period later
+	w := tr.Wobble
+	base += w*math.Sin(3*phase+0.7) + 0.6*w*math.Sin(7*phase+2.1)
+	if base < 0 {
+		base = 0
+	}
+	if base > 1 {
+		base = 1
+	}
+	return tr.Min + (tr.Max-tr.Min)*base
+}
+
+// Samples evaluates the trace at n evenly spaced points over one period
+// (Fig 14 uses 1-minute granularity over 24 h → n=1440).
+func (tr Trace) Samples(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = tr.At(float64(i) / float64(n) * tr.PeriodS)
+	}
+	return out
+}
+
+// Day is 24 hours in seconds.
+const Day = 24 * 3600.0
+
+// SearchLoadTrace reproduces Fig 14(a): search load between 30% and 100%
+// of peak, trough at t=0 (night).
+func SearchLoadTrace() Trace {
+	return Trace{PeriodS: Day, Min: 0.30, Max: 1.00, Wobble: 0.05}
+}
+
+// BackgroundTrace reproduces Fig 14(b): background traffic between 10% and
+// 60% of link bandwidth, roughly tracking the diurnal pattern with a small
+// lead.
+func BackgroundTrace() Trace {
+	return Trace{PeriodS: Day, Min: 0.10, Max: 0.60, PhaseS: -3600, Wobble: 0.08}
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eprons/internal/dvfs"
+	"eprons/internal/power"
+	"eprons/internal/rng"
+	"eprons/internal/server"
+	"eprons/internal/sim"
+)
+
+func TestServiceDistMoments(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	d, err := ServiceDist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := d.Mean()
+	if math.Abs(mean-cfg.MeanS)/cfg.MeanS > 0.03 {
+		t.Fatalf("mean %g, want ~%g", mean, cfg.MeanS)
+	}
+	cv := math.Sqrt(d.Var()) / mean
+	if math.Abs(cv-cfg.CV)/cfg.CV > 0.10 {
+		t.Fatalf("cv %g, want ~%g", cv, cfg.CV)
+	}
+	// Truncation cap respected.
+	if d.Max() > cfg.MeanS*10+d.Step {
+		t.Fatalf("max %g beyond cap", d.Max())
+	}
+	// Heavy-ish tail: p99 well above mean.
+	if d.Quantile(0.99) < 2*mean {
+		t.Fatalf("p99 %g not heavy-tailed vs mean %g", d.Quantile(0.99), mean)
+	}
+}
+
+func TestServiceDistDeterministic(t *testing.T) {
+	a, err := ServiceDist(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServiceDist(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.P) != len(b.P) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatal("nondeterministic masses")
+		}
+	}
+}
+
+func TestServiceDistValidation(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.MeanS = 0
+	if _, err := ServiceDist(cfg); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	cfg = DefaultServiceConfig()
+	cfg.CV = -1
+	if _, err := ServiceDist(cfg); err == nil {
+		t.Fatal("negative cv accepted")
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	d, err := ServiceDist(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(d, 5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Draw()
+	}
+	if got := sum / n; math.Abs(got-d.Mean())/d.Mean() > 0.02 {
+		t.Fatalf("sampler mean %g vs dist mean %g", got, d.Mean())
+	}
+}
+
+func TestTraceBounds(t *testing.T) {
+	for name, tr := range map[string]Trace{"search": SearchLoadTrace(), "background": BackgroundTrace()} {
+		for _, v := range tr.Samples(1440) {
+			if v < tr.Min-1e-12 || v > tr.Max+1e-12 {
+				t.Fatalf("%s trace value %g outside [%g,%g]", name, v, tr.Min, tr.Max)
+			}
+		}
+	}
+}
+
+func TestTraceDiurnalShape(t *testing.T) {
+	tr := SearchLoadTrace()
+	night := tr.At(0)
+	midday := tr.At(Day / 2)
+	if night > 0.45 {
+		t.Fatalf("night load %g too high", night)
+	}
+	if midday < 0.85 {
+		t.Fatalf("midday load %g too low", midday)
+	}
+	// Periodicity.
+	if math.Abs(tr.At(3600)-tr.At(3600+Day)) > 1e-9 {
+		t.Fatal("trace not periodic")
+	}
+}
+
+func TestTraceZeroPeriod(t *testing.T) {
+	tr := Trace{Min: 0.2, Max: 0.8}
+	if tr.At(123) != 0.2 {
+		t.Fatal("zero-period trace must return Min")
+	}
+}
+
+func TestTraceSamplesLength(t *testing.T) {
+	tr := SearchLoadTrace()
+	if got := len(tr.Samples(1440)); got != 1440 {
+		t.Fatalf("samples %d", got)
+	}
+}
+
+// Property: trace values always stay in [Min,Max] for arbitrary params.
+func TestQuickTraceInRange(t *testing.T) {
+	f := func(t8, min8, span8, wob8 uint8) bool {
+		min := float64(min8) / 255
+		max := min + float64(span8)/255
+		tr := Trace{PeriodS: Day, Min: min, Max: max, Wobble: float64(wob8) / 255 * 0.2}
+		v := tr.At(float64(t8) / 255 * Day)
+		return v >= min-1e-12 && v <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBimodalServiceDist(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.BimodalFrac = 0.10
+	d, err := ServiceDist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixture mean ≈ 0.9·4ms + 0.1·16ms = 5.2ms (minus truncation loss).
+	want := 0.9*cfg.MeanS + 0.1*4*cfg.MeanS
+	if math.Abs(d.Mean()-want)/want > 0.06 {
+		t.Fatalf("bimodal mean %g, want ~%g", d.Mean(), want)
+	}
+	// The slow mode stretches the tail far beyond the unimodal p99.
+	uni, err := ServiceDist(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Quantile(0.99) < 1.5*uni.Quantile(0.99) {
+		t.Fatalf("bimodal p99 %g not heavier than unimodal %g", d.Quantile(0.99), uni.Quantile(0.99))
+	}
+	// Validation.
+	cfg.BimodalFrac = 1.0
+	if _, err := ServiceDist(cfg); err == nil {
+		t.Fatal("fraction 1.0 accepted")
+	}
+}
+
+// TestBimodalEPRONSHoldsSLA: the average-VP policy holds the miss budget
+// even with a 10% slow-query mode (heavier equivalent distributions).
+func TestBimodalEPRONSHoldsSLA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := DefaultServiceConfig()
+	cfg.BimodalFrac = 0.10
+	d, err := ServiceDist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget generous enough to be feasible at fmax for the mixture: the
+	// p95 of the mixture plus queueing at 30% load.
+	budget := d.Quantile(0.95) * 2.0
+	eng := sim.New()
+	srv, err := server.New(eng, server.Config{Cores: 4, Alpha: 0.9, FMaxGHz: power.FMaxGHz,
+		PolicyFactory: func(int) server.Policy {
+			m, err := dvfs.NewModel(d, 0.9, power.FMaxGHz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dvfs.NewEPRONSServer(m, 0.05)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := NewSampler(d, 5)
+	arr := rng.Derive(7, "bimodal-arrivals")
+	rate := server.RateForUtilization(0.3, 4, d.Mean())
+	var id int64
+	var arrive func()
+	arrive = func() {
+		now := eng.Now()
+		id++
+		srv.Enqueue(&server.Request{ID: id, Arrival: now, BaseServiceS: smp.Draw(),
+			ServerDeadline: now + budget, SlackDeadline: now + budget})
+		if now < 20 {
+			eng.After(arr.Exp(1/rate), arrive)
+		}
+	}
+	arrive()
+	eng.Run(25)
+	eng.RunAll()
+	if mr := srv.Stats().MissRate(); mr > 0.08 {
+		t.Fatalf("bimodal miss rate %.3f exceeds budget", mr)
+	}
+}
