@@ -1,0 +1,32 @@
+# Development entry points for the EPRONS reproduction.
+#
+#   make check   — everything CI needs: build, vet, tests, and the race
+#                  detector over the concurrency-bearing packages
+#                  (internal/parallel and internal/core, which exercise the
+#                  worker pool, the parallel K search, table training and
+#                  the diurnal fan-out).
+#   make bench   — the allocation/latency benchmarks the perf work tracks
+#                  (engine scheduling, FFT convolution reuse, DVFS decide).
+#   make race    — just the race-detector subset.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel ./internal/core
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkEngine|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution' -benchmem \
+		. ./internal/sim ./internal/fft ./internal/dvfs

@@ -13,16 +13,48 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"eprons/internal/experiments"
+	"eprons/internal/parallel"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "small training grid (faster, coarser)")
 	step := flag.Float64("step", 60, "reporting granularity in seconds (Fig 15 uses 60)")
 	tracesOnly := flag.Bool("traces", false, "print only the Fig 14 traces")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "concurrency for table training, the per-scheme diurnal replays and the planner's K search (<=1 runs sequentially, results are identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *tracesOnly {
 		printTraces(*csvOut)
@@ -30,11 +62,11 @@ func main() {
 	}
 
 	fmt.Println("training server power tables (EPRONS, TimeTrader, MaxFreq)…")
-	eprons, tt, mf, err := experiments.TrainTables(*quick)
+	eprons, tt, mf, err := experiments.TrainTablesWorkers(*quick, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum, err := experiments.Fig15Diurnal(eprons, tt, mf, *step)
+	sum, err := experiments.Fig15DiurnalWorkers(eprons, tt, mf, *step, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

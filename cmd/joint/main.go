@@ -14,10 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"eprons/internal/experiments"
+	"eprons/internal/parallel"
 )
 
 func parseFloats(s string) ([]float64, error) {
@@ -36,8 +40,36 @@ func main() {
 	quick := flag.Bool("quick", false, "small training grid (faster, coarser)")
 	bgArg := flag.String("bg", "0.01,0.20,0.50", "background utilizations (fractions)")
 	netScale := flag.Float64("netscale", 25, "network-latency calibration: 25 matches the paper's MiniNet magnitudes, 1 = clean simulator")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "training/evaluation concurrency (cells are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	bgs, err := parseFloats(*bgArg)
 	if err != nil {
@@ -45,13 +77,13 @@ func main() {
 	}
 
 	fmt.Println("training EPRONS server power table…")
-	eprons, _, _, err := experiments.TrainTables(*quick)
+	eprons, _, _, err := experiments.TrainTablesWorkers(*quick, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	constraints := []float64{19e-3, 22e-3, 25e-3, 28e-3, 31e-3, 34e-3, 37e-3, 40e-3}
-	rows, err := experiments.Fig13JointPowerScaled(eprons, bgs, constraints, *netScale)
+	rows, err := experiments.Fig13JointPowerScaled(eprons, bgs, constraints, *netScale, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

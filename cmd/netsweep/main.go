@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netsweep [-fig 10|11|all] [-duration 3] [-rate 40]
+//	netsweep [-fig 10|11|all] [-duration 3] [-rate 40] [-workers N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"eprons/internal/experiments"
+	"eprons/internal/parallel"
 )
 
 func main() {
@@ -21,9 +22,10 @@ func main() {
 	duration := flag.Float64("duration", 3, "simulated seconds per configuration")
 	rate := flag.Float64("rate", 40, "query rate (queries/s)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "sweep concurrency (grid cells are independent simulations; <=1 runs sequentially, results are identical either way)")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
-	cfg := experiments.NetLatencyConfig{DurationS: *duration, QueryRate: *rate, Seed: *seed}
+	cfg := experiments.NetLatencyConfig{DurationS: *duration, QueryRate: *rate, Seed: *seed, Workers: *workers}
 
 	if *fig == "10" || *fig == "all" {
 		rows, err := experiments.Fig10AggregationLatency(

@@ -20,6 +20,7 @@ import (
 	"strconv"
 
 	"eprons/internal/experiments"
+	"eprons/internal/parallel"
 )
 
 var outDir string
@@ -41,6 +42,7 @@ type check struct {
 func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	quick := flag.Bool("quick", true, "coarse grids (fast); -quick=false reproduces EXPERIMENTS.md exactly")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "sweep/training concurrency (<=1 runs sequentially, figures are identical either way)")
 	flag.Parse()
 	outDir = *out
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -114,7 +116,7 @@ func main() {
 
 	// Fig 10.
 	fmt.Println("Fig 10: aggregation latency (packet simulation)")
-	cfgNet := experiments.NetLatencyConfig{DurationS: dur}
+	cfgNet := experiments.NetLatencyConfig{DurationS: dur, Workers: *workers}
 	rows10, err := experiments.Fig10AggregationLatency([]int{0, 1, 2, 3}, []float64{0.05, 0.20, 0.30}, cfgNet)
 	if err != nil {
 		log.Fatal(err)
@@ -163,6 +165,7 @@ func main() {
 	fmt.Println("Fig 12: server policies")
 	cfgSrv := experiments.DefaultServerExpConfig()
 	cfgSrv.DurationS = serverDur
+	cfgSrv.Workers = *workers
 	if *quick {
 		cfgSrv.Cores = 4
 	}
@@ -185,11 +188,11 @@ func main() {
 
 	// Fig 13 + 15 (trained models).
 	fmt.Println("training server power tables…")
-	eprons, tt, mf, err := experiments.TrainTables(*quick)
+	eprons, tt, mf, err := experiments.TrainTablesWorkers(*quick, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows13, err := experiments.Fig13JointPowerScaled(eprons, []float64{0.01, 0.20, 0.35}, []float64{19e-3, 25e-3, 31e-3, 40e-3}, 25)
+	rows13, err := experiments.Fig13JointPowerScaled(eprons, []float64{0.01, 0.20, 0.35}, []float64{19e-3, 25e-3, 31e-3, 40e-3}, 25, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -218,7 +221,7 @@ func main() {
 	if !*quick {
 		step = 60
 	}
-	sum, err := experiments.Fig15Diurnal(eprons, tt, mf, step)
+	sum, err := experiments.Fig15DiurnalWorkers(eprons, tt, mf, step, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

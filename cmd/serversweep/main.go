@@ -15,18 +15,21 @@ import (
 	"strconv"
 
 	"eprons/internal/experiments"
+	"eprons/internal/parallel"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure: 12a, 12b, 12c, 4, 5 or all")
 	duration := flag.Float64("duration", 30, "simulated seconds per point")
 	cores := flag.Int("cores", 12, "cores per server")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "sweep concurrency (points are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
 
 	cfg := experiments.DefaultServerExpConfig()
 	cfg.DurationS = *duration
 	cfg.Cores = *cores
+	cfg.Workers = *workers
 
 	if *fig == "12a" || *fig == "all" {
 		pts, err := experiments.Fig12aUtilizationSweep(

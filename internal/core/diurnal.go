@@ -5,6 +5,7 @@ import (
 
 	"eprons/internal/flow"
 	"eprons/internal/metrics"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/topology"
 	"eprons/internal/workload"
@@ -41,6 +42,12 @@ type DiurnalConfig struct {
 	// follows BgTrace (default: all 12 ordered pod pairs of a 4-pod
 	// fat-tree).
 	BgFlows int
+	// Workers bounds the concurrency across the three compared schemes.
+	// EPRONS evolves a plan through time and must stay sequential within
+	// itself, but the three schemes never read each other's state, so they
+	// run as independent day-long sweeps (<= 1 replays the historical
+	// single-loop order; the result is identical either way).
+	Workers int
 }
 
 // DiurnalSeries holds one scheme's per-minute power and derived savings.
@@ -170,7 +177,89 @@ func (c *DiurnalConfig) queryFlows(util float64) []flow.Flow {
 	return out
 }
 
-// RunDiurnal executes the 24-hour sweep.
+// diurnalStep is one sampled instant of the shared trace grid.
+type diurnalStep struct {
+	t, load, bg, util float64
+}
+
+// steps samples the traces once; all three schemes replay the same grid.
+func (c *DiurnalConfig) steps() []diurnalStep {
+	var out []diurnalStep
+	for t := 0.0; t < c.DurationS; t += c.StepS {
+		load := c.SearchTrace.At(t)
+		out = append(out, diurnalStep{
+			t:    t,
+			load: load,
+			bg:   c.BgTrace.At(t),
+			util: c.PeakUtil * load,
+		})
+	}
+	return out
+}
+
+// runEPRONS replays the day under the joint planner, re-planning every
+// optimization period using the demand at that instant (the controller's
+// predictor view). Stateful: the plan carries over between periods, so this
+// scheme is inherently sequential within itself.
+func (cfg *DiurnalConfig) runEPRONS(steps []diurnalStep, out *DiurnalSeries) error {
+	p := cfg.Planner
+	var plan *Plan
+	nextPlanAt := 0.0
+	for _, st := range steps {
+		flows := append(cfg.queryFlows(st.util), cfg.backgroundFlows(st.bg)...)
+		if st.t >= nextPlanAt || plan == nil {
+			newPlan, err := p.PlanK(flows, st.util)
+			if err == nil {
+				plan = newPlan
+			}
+			// On infeasibility keep the previous plan (controller
+			// semantics); if there has never been one, fall back to the
+			// full topology.
+			if plan == nil {
+				fullPlan, ferr := p.FullTopologyPlan(flows, st.util)
+				if ferr != nil {
+					return fmt.Errorf("core: no feasible initial plan: %v / %v", err, ferr)
+				}
+				plan = fullPlan
+			}
+			nextPlanAt = st.t + cfg.OptimizePeriodS
+		}
+		// Between plans the network stays as-is; server power follows the
+		// instantaneous utilization with the plan's slack.
+		effBudget := p.Cfg.ServerBudget + plan.SlackS
+		cpu, ok := p.Table.Lookup(st.util, effBudget)
+		if !ok {
+			cpu, _ = p.Table.Lookup(st.util, p.Cfg.ServerBudget)
+		}
+		serverW := float64(p.Cfg.NumServers) * (cpu + power.ServerStaticW)
+		out.NetW.Add(st.t, plan.NetworkPowerW)
+		out.ServerW.Add(st.t, serverW)
+		out.TotalW.Add(st.t, plan.NetworkPowerW+serverW)
+	}
+	return nil
+}
+
+// runTableBaseline replays the day for a full-topology baseline (TimeTrader
+// or no-PM): pure per-step lookups into its trained table.
+func (cfg *DiurnalConfig) runTableBaseline(steps []diurnalStep, table *ServerPowerTable, budget, fullPower float64, out *DiurnalSeries) {
+	p := cfg.Planner
+	for _, st := range steps {
+		cpu, ok := table.Lookup(st.util, budget)
+		if !ok {
+			cpu, _ = table.Lookup(st.util, p.Cfg.ServerBudget)
+		}
+		serverW := float64(p.Cfg.NumServers) * (cpu + power.ServerStaticW)
+		out.NetW.Add(st.t, fullPower)
+		out.ServerW.Add(st.t, serverW)
+		out.TotalW.Add(st.t, fullPower+serverW)
+	}
+}
+
+// RunDiurnal executes the 24-hour sweep. The three schemes share only
+// read-only inputs (traces, tables, topology) and write disjoint series, so
+// they run concurrently under cfg.Workers; every scheme performs exactly
+// the per-step arithmetic of the historical single loop, so the result is
+// bit-identical for every worker count.
 func RunDiurnal(cfg DiurnalConfig) (*DiurnalResult, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -182,69 +271,31 @@ func RunDiurnal(cfg DiurnalConfig) (*DiurnalResult, error) {
 		NoPM:       DiurnalSeries{Name: "no power management"},
 	}
 	fullPower := topology.NewActiveSet(p.FT.Graph).NetworkPowerW()
+	steps := cfg.steps()
+	for _, st := range steps {
+		res.Times = append(res.Times, st.t)
+		res.SearchLoad = append(res.SearchLoad, st.load)
+		res.BgLoad = append(res.BgLoad, st.bg)
+	}
 
-	var plan *Plan
-	nextPlanAt := 0.0
-	for t := 0.0; t < cfg.DurationS; t += cfg.StepS {
-		load := cfg.SearchTrace.At(t)
-		bg := cfg.BgTrace.At(t)
-		util := cfg.PeakUtil * load
-		res.Times = append(res.Times, t)
-		res.SearchLoad = append(res.SearchLoad, load)
-		res.BgLoad = append(res.BgLoad, bg)
-
-		flows := append(cfg.queryFlows(util), cfg.backgroundFlows(bg)...)
-
-		// EPRONS re-plans every optimization period using the demand at
-		// that instant (the controller's predictor view).
-		if t >= nextPlanAt || plan == nil {
-			newPlan, err := p.PlanK(flows, util)
-			if err == nil {
-				plan = newPlan
-			}
-			// On infeasibility keep the previous plan (controller
-			// semantics); if there has never been one, fall back to the
-			// full topology.
-			if plan == nil {
-				fullPlan, ferr := p.FullTopologyPlan(flows, util)
-				if ferr != nil {
-					return nil, fmt.Errorf("core: no feasible initial plan: %v / %v", err, ferr)
-				}
-				plan = fullPlan
-			}
-			nextPlanAt = t + cfg.OptimizePeriodS
-		}
-		// Between plans the network stays as-is; server power follows the
-		// instantaneous utilization with the plan's slack.
-		effBudget := p.Cfg.ServerBudget + plan.SlackS
-		cpu, ok := p.Table.Lookup(util, effBudget)
-		if !ok {
-			cpu, _ = p.Table.Lookup(util, p.Cfg.ServerBudget)
-		}
-		epronsServer := float64(p.Cfg.NumServers) * (cpu + power.ServerStaticW)
-		res.EPRONS.NetW.Add(t, plan.NetworkPowerW)
-		res.EPRONS.ServerW.Add(t, epronsServer)
-		res.EPRONS.TotalW.Add(t, plan.NetworkPowerW+epronsServer)
-
-		// TimeTrader: full topology (no DCN power management); server
-		// power from its own feedback-trained table at the plain server
-		// budget plus the generous full-topology slack.
-		ttBudget := p.Cfg.ServerBudget + p.Cfg.NetworkBudget*p.Cfg.RequestBudgetFrac
-		ttCPU, ok := cfg.TimeTraderTable.Lookup(util, ttBudget)
-		if !ok {
-			ttCPU, _ = cfg.TimeTraderTable.Lookup(util, p.Cfg.ServerBudget)
-		}
-		ttServer := float64(p.Cfg.NumServers) * (ttCPU + power.ServerStaticW)
-		res.TimeTrader.NetW.Add(t, fullPower)
-		res.TimeTrader.ServerW.Add(t, ttServer)
-		res.TimeTrader.TotalW.Add(t, fullPower+ttServer)
-
-		// No power management: full topology, max frequency.
-		npCPU, _ := cfg.MaxFreqTable.Lookup(util, p.Cfg.ServerBudget)
-		npServer := float64(p.Cfg.NumServers) * (npCPU + power.ServerStaticW)
-		res.NoPM.NetW.Add(t, fullPower)
-		res.NoPM.ServerW.Add(t, npServer)
-		res.NoPM.TotalW.Add(t, fullPower+npServer)
+	// TimeTrader: full topology (no DCN power management); server power
+	// from its own feedback-trained table at the plain server budget plus
+	// the generous full-topology slack. No-PM: full topology, max
+	// frequency.
+	ttBudget := p.Cfg.ServerBudget + p.Cfg.NetworkBudget*p.Cfg.RequestBudgetFrac
+	runs := []func() error{
+		func() error { return cfg.runEPRONS(steps, &res.EPRONS) },
+		func() error {
+			cfg.runTableBaseline(steps, cfg.TimeTraderTable, ttBudget, fullPower, &res.TimeTrader)
+			return nil
+		},
+		func() error {
+			cfg.runTableBaseline(steps, cfg.MaxFreqTable, p.Cfg.ServerBudget, fullPower, &res.NoPM)
+			return nil
+		},
+	}
+	if err := parallel.ForEach(len(runs), cfg.Workers, func(i int) error { return runs[i]() }); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

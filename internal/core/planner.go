@@ -8,6 +8,7 @@ import (
 	"eprons/internal/fattree"
 	"eprons/internal/flow"
 	"eprons/internal/netmodel"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/topology"
 )
@@ -101,6 +102,12 @@ type Planner struct {
 	// UtilFn reports the current server utilization when the planner is
 	// driven by the controller (set by the system runner).
 	UtilFn func() float64
+	// Workers bounds the concurrency of the K-search: each candidate
+	// scale factor is an independent consolidation + pricing and they run
+	// fanned out over this many goroutines. <= 1 evaluates sequentially
+	// (the exact pre-parallel code path); the chosen Plan is identical for
+	// every value because the reduction scans candidates in K order.
+	Workers int
 }
 
 // NewPlanner wires a planner.
@@ -199,19 +206,21 @@ func (p *Planner) EvaluateCandidate(k int, res *consolidate.Result, flows []flow
 
 // PlanK searches K in [1, KMax] and returns the minimum-total-power
 // feasible plan (paper §IV-B). util is the current server utilization.
+//
+// Every candidate K is an independent consolidation, so the search fans out
+// over p.Workers goroutines and then reduces in ascending-K order with the
+// same strict comparison the sequential loop used — the returned Plan is
+// identical for any worker count, with ties broken toward the lowest K.
 func (p *Planner) PlanK(flows []flow.Flow, util float64) (*Plan, error) {
+	cands, err := parallel.Map(p.Cfg.KMax, p.Workers, func(i int) (*Plan, error) {
+		return p.planOneK(i+1, flows, util)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var best *Plan
-	for k := 1; k <= p.Cfg.KMax; k++ {
-		cfg := consolidate.Config{ScaleK: float64(k), SafetyMarginBps: p.Cfg.SafetyMarginBps}
-		res, err := consolidate.Greedy(p.FT, flows, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Feasible {
-			continue
-		}
-		plan := p.evaluate(k, res, flows, util, p.Cfg.ServerBudget, res.NetworkPowerW)
-		if !plan.Feasible {
+	for _, plan := range cands {
+		if plan == nil || !plan.Feasible {
 			continue
 		}
 		if best == nil || plan.TotalPowerW < best.TotalPowerW-1e-9 {
@@ -222,6 +231,21 @@ func (p *Planner) PlanK(flows []flow.Flow, util float64) (*Plan, error) {
 		return nil, fmt.Errorf("core: no feasible plan for any K in [1,%d]", p.Cfg.KMax)
 	}
 	return best, nil
+}
+
+// planOneK consolidates and prices a single candidate scale factor. It
+// returns (nil, nil) for an infeasible consolidation so the reduction can
+// skip it, matching the sequential loop's continue.
+func (p *Planner) planOneK(k int, flows []flow.Flow, util float64) (*Plan, error) {
+	cfg := consolidate.Config{ScaleK: float64(k), SafetyMarginBps: p.Cfg.SafetyMarginBps}
+	res, err := consolidate.Greedy(p.FT, flows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible {
+		return nil, nil
+	}
+	return p.evaluate(k, res, flows, util, p.Cfg.ServerBudget, res.NetworkPowerW), nil
 }
 
 // PlanAggregation evaluates one Fig 9 aggregation policy under a total
@@ -267,17 +291,26 @@ func (p *Planner) Optimize(flows []flow.Flow) (*consolidate.Result, error) {
 func (p *Planner) FullTopologyPlan(flows []flow.Flow, util float64) (*Plan, error) {
 	full := topology.NewActiveSet(p.FT.Graph)
 	fullPower := full.NetworkPowerW()
-	for k := p.Cfg.KMax; k >= 1; k-- {
+	// Candidate i evaluates K = KMax-i; the reduction takes the first
+	// feasible candidate in that order, i.e. the highest feasible K — the
+	// same plan the sequential countdown returned.
+	cands, err := parallel.Map(p.Cfg.KMax, p.Workers, func(i int) (*Plan, error) {
+		k := p.Cfg.KMax - i
 		cfg := consolidate.Config{ScaleK: float64(k), SafetyMarginBps: p.Cfg.SafetyMarginBps}
 		res, err := consolidate.Greedy(p.FT, flows, cfg)
 		if err != nil {
 			return nil, err
 		}
 		if !res.Feasible {
-			continue
+			return nil, nil
 		}
-		plan := p.evaluate(k, res, flows, util, p.Cfg.ServerBudget, fullPower)
-		if plan.Feasible {
+		return p.evaluate(k, res, flows, util, p.Cfg.ServerBudget, fullPower), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, plan := range cands {
+		if plan != nil && plan.Feasible {
 			return plan, nil
 		}
 	}

@@ -8,12 +8,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"eprons/internal/dist"
 	"eprons/internal/dvfs"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/rng"
 	"eprons/internal/server"
@@ -58,6 +57,11 @@ type TrainConfig struct {
 	// for the joint planner; TimeTrader/MaxFreq for baselines).
 	Policy func(m *dvfs.Model) server.Policy
 	Seed   int64
+	// Workers bounds training concurrency across grid cells (0 = one per
+	// CPU, matching the historical always-parallel behavior; 1 = strictly
+	// sequential). Cells are independently seeded simulations, so the
+	// trained table is identical for every value.
+	Workers int
 }
 
 // DefaultTrainConfig returns the grid used by the experiments: utilization
@@ -129,43 +133,23 @@ func TrainServerPowerTable(cfg TrainConfig) (*ServerPowerTable, error) {
 		t.OK = append(t.OK, make([]bool, len(cfg.Budgets)))
 	}
 
-	type cell struct{ ui, bi int }
-	work := make(chan cell)
-	errs := make(chan error, 1)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if n := len(cfg.Utils) * len(cfg.Budgets); workers > n {
-		workers = n
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				p, miss, err := trainCell(cfg, base, cfg.Utils[c.ui], cfg.Budgets[c.bi], int64(c.ui*1000+c.bi))
-				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					continue
-				}
-				t.PowerW[c.ui][c.bi] = p
-				t.OK[c.ui][c.bi] = miss <= cfg.TargetVP*cfg.MissTolerance
-			}
-		}()
-	}
-	for ui := range cfg.Utils {
-		for bi := range cfg.Budgets {
-			work <- cell{ui, bi}
+	nb := len(cfg.Budgets)
+	err = parallel.ForEach(len(cfg.Utils)*nb, workers, func(i int) error {
+		ui, bi := i/nb, i%nb
+		p, miss, err := trainCell(cfg, base, cfg.Utils[ui], cfg.Budgets[bi], int64(ui*1000+bi))
+		if err != nil {
+			return err
 		}
-	}
-	close(work)
-	wg.Wait()
-	select {
-	case err := <-errs:
+		t.PowerW[ui][bi] = p
+		t.OK[ui][bi] = miss <= cfg.TargetVP*cfg.MissTolerance
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 	return t, nil
 }

@@ -269,6 +269,52 @@ func (d *Discrete) Remaining(w float64) *Discrete {
 	return out
 }
 
+// RemainingInto is Remaining writing its result into out, reusing out's
+// mass slice across calls. It performs exactly the arithmetic of Remaining
+// (same summation order, same division, same trim), so the produced values
+// are bit-identical — only the per-call allocations are saved. out must not
+// alias d. Returns out.
+//
+// This is the DVFS hot path: every scheduling decision on a busy core
+// conditions the base distribution on the in-service request's progress,
+// and the result lives only for the duration of the decision.
+func (d *Discrete) RemainingInto(w float64, out *Discrete) *Discrete {
+	out.Step = d.Step
+	if w <= 0 {
+		out.P = append(out.P[:0], d.P...)
+		return out
+	}
+	k := int(math.Floor(w/d.Step + 1e-9))
+	if k+1 >= len(d.P) {
+		out.P = append(out.P[:0], 1) // point mass at 0: essentially finished
+		return out
+	}
+	tail := 0.0
+	for i := k + 1; i < len(d.P); i++ {
+		tail += d.P[i]
+	}
+	if tail < massEps {
+		out.P = append(out.P[:0], 1)
+		return out
+	}
+	n := len(d.P) - k - 1 + 1
+	p := out.P[:0]
+	if cap(p) < n {
+		p = make([]float64, n)
+	} else {
+		p = p[:n]
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	for i := k + 1; i < len(d.P); i++ {
+		p[i-k-1+1] += d.P[i] / tail // shift by one lattice point: at least one step of work remains
+	}
+	out.P = p
+	out.trim()
+	return out
+}
+
 // Sample draws a variate using u ~ Uniform[0,1).
 func (d *Discrete) Sample(u float64) float64 {
 	cum := 0.0

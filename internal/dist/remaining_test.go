@@ -1,0 +1,36 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// RemainingInto promises the exact arithmetic of Remaining with the
+// allocation removed; this pins the bit-identical contract, including the
+// degenerate branches and buffer reuse across differently sized calls.
+func TestRemainingIntoMatchesRemainingBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	masses := make([]float64, 400)
+	for i := range masses {
+		masses[i] = r.Float64()
+	}
+	d, err := New(1e-4, masses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf Discrete // reused across every w, like the policy scratch
+	for _, w := range []float64{-1, 0, 0.5e-4, 1e-4, 37.3e-4, 200e-4, 398e-4, 399e-4, 1} {
+		want := d.Remaining(w)
+		got := d.RemainingInto(w, &buf)
+		if got.Step != want.Step || len(got.P) != len(want.P) {
+			t.Fatalf("w=%g: shape differs: got step %g len %d, want step %g len %d",
+				w, got.Step, len(got.P), want.Step, len(want.P))
+		}
+		for i := range want.P {
+			if math.Float64bits(got.P[i]) != math.Float64bits(want.P[i]) {
+				t.Fatalf("w=%g: mass %d differs: %v vs %v", w, i, got.P[i], want.P[i])
+			}
+		}
+	}
+}

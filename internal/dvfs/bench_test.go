@@ -1,0 +1,78 @@
+package dvfs
+
+import (
+	"testing"
+
+	"eprons/internal/power"
+	"eprons/internal/server"
+	"eprons/internal/workload"
+)
+
+// benchPolicy builds an EPRONS-Server policy over the realistic Xapian-like
+// service distribution and warms the convolution-power cache up to the
+// benchmark queue depth, so the loop measures steady-state decision cost.
+func benchPolicy(b *testing.B, depth int) *ModelPolicy {
+	b.Helper()
+	base, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(base, 0.9, power.FMaxGHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.ensure(depth + 1)
+	return NewEPRONSServer(m, 0.05)
+}
+
+// BenchmarkDVFSDecide measures one frequency decision with a busy core and
+// a queue of 6 — the §III-C hot path (EDF sort, remaining-work prefix,
+// VP evaluation, binary search over the frequency grid). allocs/op is the
+// headline metric: the prefix buffer and the EDF sort should not allocate.
+func BenchmarkDVFSDecide(b *testing.B) {
+	const depth = 6
+	p := benchPolicy(b, depth)
+	now := 1.0
+	cur := &server.Request{
+		ID: 1, Arrival: now - 2e-3, BaseServiceS: 6e-3,
+		ServerDeadline: now + 20e-3, SlackDeadline: now + 22e-3,
+	}
+	queue := make([]*server.Request, depth)
+	for i := range queue {
+		queue[i] = &server.Request{
+			ID: int64(i + 2), Arrival: now,
+			BaseServiceS:   4e-3,
+			ServerDeadline: now + 25e-3 + float64((i*5)%7)*1e-3,
+			SlackDeadline:  now + 27e-3 + float64((i*3)%5)*1e-3,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var f float64
+	for i := 0; i < b.N; i++ {
+		f = p.OnDecision(now, cur, queue)
+	}
+	b.ReportMetric(f, "GHz-chosen")
+}
+
+// BenchmarkDVFSDecideIdlePrefix is the idle-core variant (no in-service
+// request): pure cached-tail-table lookups plus the EDF sort.
+func BenchmarkDVFSDecideIdlePrefix(b *testing.B) {
+	const depth = 4
+	p := benchPolicy(b, depth)
+	now := 1.0
+	queue := make([]*server.Request, depth)
+	for i := range queue {
+		queue[i] = &server.Request{
+			ID: int64(i + 1), Arrival: now,
+			BaseServiceS:   4e-3,
+			ServerDeadline: now + 25e-3 + float64((i*5)%7)*1e-3,
+			SlackDeadline:  now + 27e-3 + float64((i*3)%5)*1e-3,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnDecision(now, nil, queue)
+	}
+}

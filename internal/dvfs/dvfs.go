@@ -26,7 +26,7 @@ package dvfs
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"eprons/internal/dist"
 	"eprons/internal/metrics"
@@ -165,6 +165,12 @@ type ModelPolicy struct {
 	grid     []float64
 	// decisions counts OnDecision calls (introspection for tests).
 	decisions int64
+	// scratch holds the remaining-work distribution of the in-service
+	// request between decisions. Policies are per-core and single-threaded
+	// within a simulation, and the prefix never outlives the decision, so
+	// reusing one buffer removes the two hottest allocations of the
+	// simulator (dist.RemainingInto keeps the arithmetic bit-identical).
+	scratch dist.Discrete
 }
 
 // NewEPRONSServer returns the paper's policy: average VP, slack-aware, EDF.
@@ -204,47 +210,67 @@ func (p *ModelPolicy) OnDecision(now float64, cur *server.Request, queue []*serv
 		return power.FMinGHz
 	}
 	if p.EDF && len(queue) > 1 {
-		sort.SliceStable(queue, func(i, j int) bool {
-			return p.deadline(queue[i]) < p.deadline(queue[j])
+		// Stable sort on deadlines; SortStableFunc matches the historical
+		// sort.SliceStable permutation without its per-call reflection
+		// allocations.
+		slices.SortStableFunc(queue, func(a, b *server.Request) int {
+			da, db := p.deadline(a), p.deadline(b)
+			switch {
+			case da < db:
+				return -1
+			case da > db:
+				return 1
+			}
+			return 0
 		})
 	}
 	var prefix *dist.Discrete
 	if cur != nil {
-		prefix = p.m.Base.Remaining(cur.WorkDoneBase())
-	}
-
-	metric := func(f float64) float64 {
-		s := p.m.Stretch(f)
-		worst, sum, n := 0.0, 0.0, 0
-		if cur != nil {
-			omega := (p.deadline(cur) - now) / s
-			vp := prefix.CCDF(omega)
-			worst = math.Max(worst, vp)
-			sum += vp
-			n++
-		}
-		for i, r := range queue {
-			omega := (p.deadline(r) - now) / s
-			vp := p.m.VP(prefix, i+1, omega)
-			worst = math.Max(worst, vp)
-			sum += vp
-			n++
-		}
-		if p.Agg == MaxVP {
-			return worst
-		}
-		return sum / float64(n)
+		prefix = p.m.Base.RemainingInto(cur.WorkDoneBase(), &p.scratch)
 	}
 
 	// VP is non-increasing in frequency: binary search the grid for the
-	// slowest frequency meeting the target (§III-C's binary search).
-	idx := sort.Search(len(p.grid), func(i int) bool {
-		return metric(p.grid[i]) <= p.TargetVP
-	})
-	if idx == len(p.grid) {
+	// slowest frequency meeting the target (§III-C's binary search). The
+	// probe sequence mirrors sort.Search; inlining it lets the metric be a
+	// method call instead of two escaping closures per decision.
+	lo, hi := 0, len(p.grid)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.metric(p.grid[mid], now, cur, queue, prefix) <= p.TargetVP {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(p.grid) {
 		return p.grid[len(p.grid)-1]
 	}
-	return p.grid[idx]
+	return p.grid[lo]
+}
+
+// metric evaluates the decision metric (max or average VP over the queued
+// requests) at frequency f.
+func (p *ModelPolicy) metric(f, now float64, cur *server.Request, queue []*server.Request, prefix *dist.Discrete) float64 {
+	s := p.m.Stretch(f)
+	worst, sum, n := 0.0, 0.0, 0
+	if cur != nil {
+		omega := (p.deadline(cur) - now) / s
+		vp := prefix.CCDF(omega)
+		worst = math.Max(worst, vp)
+		sum += vp
+		n++
+	}
+	for i, r := range queue {
+		omega := (p.deadline(r) - now) / s
+		vp := p.m.VP(prefix, i+1, omega)
+		worst = math.Max(worst, vp)
+		sum += vp
+		n++
+	}
+	if p.Agg == MaxVP {
+		return worst
+	}
+	return sum / float64(n)
 }
 
 // OnComplete implements server.Policy (no feedback needed).

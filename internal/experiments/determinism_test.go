@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The sweep fan-outs must be invisible in the results: every grid cell is
+// an independently seeded simulation and rows are written by cell index, so
+// workers=1 (the historical sequential loop) and workers=4 must produce
+// byte-identical tables.
+
+func TestFig11WorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []Fig11Row {
+		cfg := NetLatencyConfig{DurationS: 0.5, QueryRate: 40, Seed: 1, Workers: workers}
+		rows, err := Fig11ScaleFactor([]int{1, 2, 3}, []float64{0.05, 0.20}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig 11 rows differ across worker counts:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestFig12bWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy server simulation")
+	}
+	run := func(workers int) []ServerPoint {
+		cfg := DefaultServerExpConfig()
+		cfg.DurationS = 2
+		cfg.Cores = 4
+		cfg.Workers = workers
+		pts, err := Fig12bConstraintSweep([]float64{20e-3, 30e-3}, 0.30, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Fig 12(b) points differ across worker counts:\nseq %+v\npar %+v", seq, par)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"eprons/internal/flow"
 	"eprons/internal/milp"
 	"eprons/internal/netmodel"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/rng"
 	"eprons/internal/server"
@@ -20,11 +21,19 @@ import (
 // MaxFreq) used by the joint experiments. quick shrinks the grid and
 // durations for tests/benches.
 func TrainTables(quick bool) (eprons, timetrader, maxfreq *core.ServerPowerTable, err error) {
+	return TrainTablesWorkers(quick, 0)
+}
+
+// TrainTablesWorkers is TrainTables with an explicit per-table training
+// concurrency (0 = one worker per CPU; 1 = sequential). The trained tables
+// are identical for every worker count.
+func TrainTablesWorkers(quick bool, workers int) (eprons, timetrader, maxfreq *core.ServerPowerTable, err error) {
 	mk := func(policy func(m *dvfs.Model) server.Policy, dur, warmup float64) (*core.ServerPowerTable, error) {
 		cfg := core.DefaultTrainConfig()
 		cfg.Policy = policy
 		cfg.Duration = dur
 		cfg.WarmupS = warmup
+		cfg.Workers = workers
 		if quick {
 			cfg.Cores = 4
 			cfg.Utils = []float64{0.10, 0.30, 0.50}
@@ -87,14 +96,17 @@ type Fig13Row struct {
 // constraint and model total power at 30% server utilization (like the
 // paper, results are scaled through the trained models).
 func Fig13JointPower(table *core.ServerPowerTable, bgUtils []float64, constraints []float64) ([]Fig13Row, error) {
-	return Fig13JointPowerScaled(table, bgUtils, constraints, 1)
+	return Fig13JointPowerScaled(table, bgUtils, constraints, 1, 1)
 }
 
 // Fig13JointPowerScaled is Fig13JointPower with a network-latency scale
 // calibration (netScale ≈ 25 matches the paper's MiniNet-measured
 // magnitudes and reproduces the Fig 13 feasibility boundaries and
-// aggregation-2-vs-3 inversion; 1 = clean-simulator scale).
-func Fig13JointPowerScaled(table *core.ServerPowerTable, bgUtils []float64, constraints []float64, netScale float64) ([]Fig13Row, error) {
+// aggregation-2-vs-3 inversion; 1 = clean-simulator scale). Every
+// (background, level, constraint) cell is an independent plan evaluation
+// over read-only shared models, fanned out over workers goroutines
+// (<= 1 = sequential; rows are identical for every worker count).
+func Fig13JointPowerScaled(table *core.ServerPowerTable, bgUtils []float64, constraints []float64, netScale float64, workers int) ([]Fig13Row, error) {
 	ft, err := fattree.New(fattree.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -105,26 +117,28 @@ func Fig13JointPowerScaled(table *core.ServerPowerTable, bgUtils []float64, cons
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig13Row
-	for _, bg := range bgUtils {
-		flows := jointFlows(ft, 0.30, bg)
-		for level := 0; level < ft.NumAggregationPolicies(); level++ {
-			for _, c := range constraints {
-				plan, err := planner.PlanAggregation(flows, 0.30, level, c)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Fig13Row{
-					BgUtil:      bg,
-					Level:       level,
-					ConstraintS: c,
-					TotalW:      plan.TotalPowerW,
-					Feasible:    plan.Feasible,
-				})
-			}
-		}
+	// Demand sets per background level are shared read-only by the cells.
+	flowSets := make([][]flow.Flow, len(bgUtils))
+	for i, bg := range bgUtils {
+		flowSets[i] = jointFlows(ft, 0.30, bg)
 	}
-	return out, nil
+	nl := ft.NumAggregationPolicies()
+	nc := len(constraints)
+	return parallel.Map(len(bgUtils)*nl*nc, workers, func(i int) (Fig13Row, error) {
+		bi, level, ci := i/(nl*nc), (i/nc)%nl, i%nc
+		bg, c := bgUtils[bi], constraints[ci]
+		plan, err := planner.PlanAggregation(flowSets[bi], 0.30, level, c)
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		return Fig13Row{
+			BgUtil:      bg,
+			Level:       level,
+			ConstraintS: c,
+			TotalW:      plan.TotalPowerW,
+			Feasible:    plan.Feasible,
+		}, nil
+	})
 }
 
 // jointFlows builds the combined query + background demand set at a server
@@ -196,8 +210,17 @@ type Fig15Summary struct {
 }
 
 // Fig15Diurnal runs the 24-hour joint experiment and summarizes savings
-// against the no-power-management baseline.
+// against the no-power-management baseline (sequentially; see
+// Fig15DiurnalWorkers).
 func Fig15Diurnal(eprons, timetrader, maxfreq *core.ServerPowerTable, stepS float64) (*Fig15Summary, error) {
+	return Fig15DiurnalWorkers(eprons, timetrader, maxfreq, stepS, 0)
+}
+
+// Fig15DiurnalWorkers is Fig15Diurnal with explicit concurrency: the three
+// compared schemes replay the day concurrently, and the EPRONS planner's
+// K-candidate search fans out under the same bound. The summary is
+// identical for every worker count.
+func Fig15DiurnalWorkers(eprons, timetrader, maxfreq *core.ServerPowerTable, stepS float64, workers int) (*Fig15Summary, error) {
 	ft, err := fattree.New(fattree.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -206,6 +229,7 @@ func Fig15Diurnal(eprons, timetrader, maxfreq *core.ServerPowerTable, stepS floa
 	if err != nil {
 		return nil, err
 	}
+	planner.Workers = workers
 	res, err := core.RunDiurnal(core.DiurnalConfig{
 		Planner:         planner,
 		TimeTraderTable: timetrader,
@@ -214,6 +238,7 @@ func Fig15Diurnal(eprons, timetrader, maxfreq *core.ServerPowerTable, stepS floa
 		BgTrace:         workload.BackgroundTrace(),
 		PeakUtil:        0.5,
 		StepS:           stepS,
+		Workers:         workers,
 	})
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"eprons/internal/flow"
 	"eprons/internal/metrics"
 	"eprons/internal/netsim"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/rng"
 	"eprons/internal/server"
@@ -184,6 +185,11 @@ type NetLatencyConfig struct {
 	// demand is small (the 20 Mbps flows of Fig 2).
 	QueryReserveBps float64
 	Seed            int64
+	// Workers bounds sweep concurrency: each (policy, background) or
+	// (K, background) cell is an independent packet simulation with
+	// per-cell derived rng streams, so results are identical for every
+	// worker count. <= 1 runs the historical sequential loop.
+	Workers int
 }
 
 func (c *NetLatencyConfig) fill() {
@@ -316,24 +322,23 @@ func Fig10AggregationLatency(levels []int, bgUtils []float64, cfg NetLatencyConf
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig10Row
-	for _, level := range levels {
-		active := ft.AggregationPolicy(level)
-		for _, bg := range bgUtils {
-			st, _, err := measureNetwork(active, ft, bg, cfg, true, 1)
-			if err != nil {
-				return nil, fmt.Errorf("level %d bg %.2f: %w", level, bg, err)
-			}
-			out = append(out, Fig10Row{
-				Level:  level,
-				BgUtil: bg,
-				MeanS:  st.NetReqLat.Mean(),
-				P95S:   st.NetReqLat.Quantile(0.95),
-				P99S:   st.NetReqLat.Quantile(0.99),
-			})
+	// Each (level, background) cell is an independent simulation with its
+	// own engine and seed-derived streams: fan out and keep row order.
+	nb := len(bgUtils)
+	return parallel.Map(len(levels)*nb, cfg.Workers, func(i int) (Fig10Row, error) {
+		level, bg := levels[i/nb], bgUtils[i%nb]
+		st, _, err := measureNetwork(ft.AggregationPolicy(level), ft, bg, cfg, true, 1)
+		if err != nil {
+			return Fig10Row{}, fmt.Errorf("level %d bg %.2f: %w", level, bg, err)
 		}
-	}
-	return out, nil
+		return Fig10Row{
+			Level:  level,
+			BgUtil: bg,
+			MeanS:  st.NetReqLat.Mean(),
+			P95S:   st.NetReqLat.Quantile(0.95),
+			P99S:   st.NetReqLat.Quantile(0.99),
+		}, nil
+	})
 }
 
 // Fig11Row is one (K, background) operating point.
@@ -354,25 +359,24 @@ func Fig11ScaleFactor(ks []int, bgUtils []float64, cfg NetLatencyConfig) ([]Fig1
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig11Row
-	for _, bg := range bgUtils {
-		for _, k := range ks {
-			st, switches, err := measureNetwork(nil, ft, bg, cfg, false, float64(k))
-			if errors.Is(err, ErrInfeasible) {
-				out = append(out, Fig11Row{K: k, BgUtil: bg})
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("K=%d bg %.2f: %w", k, bg, err)
-			}
-			out = append(out, Fig11Row{
-				K:              k,
-				BgUtil:         bg,
-				P95S:           st.NetReqLat.Quantile(0.95),
-				ActiveSwitches: switches,
-				Feasible:       true,
-			})
+	// Row order is (background outer, K inner), matching the sequential
+	// loop; every cell is an independent simulation.
+	nk := len(ks)
+	return parallel.Map(len(bgUtils)*nk, cfg.Workers, func(i int) (Fig11Row, error) {
+		bg, k := bgUtils[i/nk], ks[i%nk]
+		st, switches, err := measureNetwork(nil, ft, bg, cfg, false, float64(k))
+		if errors.Is(err, ErrInfeasible) {
+			return Fig11Row{K: k, BgUtil: bg}, nil
 		}
-	}
-	return out, nil
+		if err != nil {
+			return Fig11Row{}, fmt.Errorf("K=%d bg %.2f: %w", k, bg, err)
+		}
+		return Fig11Row{
+			K:              k,
+			BgUtil:         bg,
+			P95S:           st.NetReqLat.Quantile(0.95),
+			ActiveSwitches: switches,
+			Feasible:       true,
+		}, nil
+	})
 }

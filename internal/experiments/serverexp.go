@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"eprons/internal/dist"
 	"eprons/internal/dvfs"
+	"eprons/internal/parallel"
 	"eprons/internal/power"
 	"eprons/internal/rng"
 	"eprons/internal/server"
@@ -43,6 +45,12 @@ type ServerExpConfig struct {
 	// NetworkBudget (default 5 ms); the request direction gets half.
 	NetworkBudget float64
 	Seed          int64
+	// Workers bounds sweep concurrency: each (policy, utilization,
+	// constraint) point is an independent single-server simulation whose
+	// rng streams derive from (Seed, policy, operating point), so sweep
+	// results are identical for every worker count. <= 1 runs the
+	// historical sequential loop.
+	Workers int
 }
 
 // DefaultServerExpConfig mirrors §V-B2: no network power management,
@@ -157,10 +165,20 @@ func runServerPointWith(name PolicyName, util, totalConstraint float64, cfg Serv
 	eng.Run(cfg.DurationS * 1.5)
 	eng.RunAll()
 	end := eng.Now()
+	// Accumulate the residency histogram in sorted-frequency order: map
+	// iteration order is random, and floating-point addition is not
+	// associative, so summing in map order made the last ulp of the mean
+	// frequency differ between runs of the same seed.
+	residency := srv.FreqResidency()
+	freqs := make([]float64, 0, len(residency))
+	for f := range residency {
+		freqs = append(freqs, f)
+	}
+	sort.Float64s(freqs)
 	meanFreq, total := 0.0, 0.0
-	for f, tm := range srv.FreqResidency() {
-		meanFreq += f * tm
-		total += tm
+	for _, f := range freqs {
+		meanFreq += f * residency[f]
+		total += residency[f]
 	}
 	if total > 0 {
 		meanFreq /= total
@@ -178,49 +196,28 @@ func runServerPointWith(name PolicyName, util, totalConstraint float64, cfg Serv
 // Fig12aUtilizationSweep measures CPU power vs server utilization for all
 // five policies at a fixed total constraint (paper: 30 ms).
 func Fig12aUtilizationSweep(utils []float64, totalConstraint float64, cfg ServerExpConfig) ([]ServerPoint, error) {
-	var out []ServerPoint
-	for _, name := range AllPolicies {
-		for _, u := range utils {
-			p, err := runServerPoint(name, u, totalConstraint, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
-		}
-	}
-	return out, nil
+	nu := len(utils)
+	return parallel.Map(len(AllPolicies)*nu, cfg.Workers, func(i int) (ServerPoint, error) {
+		return runServerPoint(AllPolicies[i/nu], utils[i%nu], totalConstraint, cfg)
+	})
 }
 
 // Fig12bConstraintSweep measures CPU power vs total tail-latency
 // constraint at fixed utilization (paper: 30%).
 func Fig12bConstraintSweep(constraints []float64, util float64, cfg ServerExpConfig) ([]ServerPoint, error) {
-	var out []ServerPoint
-	for _, name := range AllPolicies {
-		for _, c := range constraints {
-			p, err := runServerPoint(name, util, c, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
-		}
-	}
-	return out, nil
+	nc := len(constraints)
+	return parallel.Map(len(AllPolicies)*nc, cfg.Workers, func(i int) (ServerPoint, error) {
+		return runServerPoint(AllPolicies[i/nc], util, constraints[i%nc], cfg)
+	})
 }
 
 // Fig12cEPRONSGrid measures EPRONS-Server across the (utilization,
 // constraint) plane.
 func Fig12cEPRONSGrid(utils, constraints []float64, cfg ServerExpConfig) ([]ServerPoint, error) {
-	var out []ServerPoint
-	for _, u := range utils {
-		for _, c := range constraints {
-			p, err := runServerPoint(PolEPRONS, u, c, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
-		}
-	}
-	return out, nil
+	nc := len(constraints)
+	return parallel.Map(len(utils)*nc, cfg.Workers, func(i int) (ServerPoint, error) {
+		return runServerPoint(PolEPRONS, utils[i/nc], constraints[i%nc], cfg)
+	})
 }
 
 // Fig05Point samples the equivalent-request violation-probability curves

@@ -1,0 +1,46 @@
+package fft
+
+import "testing"
+
+// benchInput builds two uniform mass vectors long enough to force the FFT
+// path of Convolve (the EPRONS-Server "equivalent request" regime).
+func benchInput(n int) ([]float64, []float64) {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 1 / float64(n)
+		b[i] = 1 / float64(n)
+	}
+	return a, b
+}
+
+// BenchmarkFFTConvolveReuse measures repeated convolutions at a fixed size —
+// the exact shape of dvfs.Model.ensure extending its convolution-power
+// cache. With scratch-buffer reuse and cached twiddle factors, steady-state
+// allocations should be just the caller-owned output slice.
+func BenchmarkFFTConvolveReuse(b *testing.B) {
+	x, y := benchInput(2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out []float64
+	for i := 0; i < b.N; i++ {
+		out = Convolve(x, y)
+	}
+	_ = out
+}
+
+// BenchmarkFFTTransform isolates the in-place transform (twiddle-factor
+// computation is its only per-call cost beyond the butterflies).
+func BenchmarkFFTTransform(b *testing.B) {
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(1/float64(n), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(x, false)
+		Transform(x, true)
+	}
+}

@@ -5,7 +5,10 @@
 // ~20µs per FFT convolution and this package is the corresponding substrate.
 package fft
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // NextPow2 returns the smallest power of two >= n (and at least 1).
 func NextPow2(n int) int {
@@ -14,6 +17,45 @@ func NextPow2(n int) int {
 		p <<= 1
 	}
 	return p
+}
+
+// twiddleTable caches the per-stage unit roots of the size-n transform.
+// Entries are generated with the same iterative multiplication (w *= wl)
+// the transform historically used, so cached and uncached runs are
+// bit-identical. The stage for butterfly length L occupies the flat range
+// [L/2-1, L-2]; total n-1 entries. The inverse table is the exact complex
+// conjugate (IEEE negation is exact, and conj distributes exactly over
+// complex multiplication), matching the historical inverse recurrence.
+type twiddleTable struct {
+	fwd, inv []complex128
+}
+
+// twiddleCache maps transform size n to its *twiddleTable. Tables are
+// immutable once published, so concurrent transforms (parallel sweep cells
+// building dvfs models) share them without locking.
+var twiddleCache sync.Map
+
+func twiddles(n int) *twiddleTable {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.(*twiddleTable)
+	}
+	t := &twiddleTable{
+		fwd: make([]complex128, n-1),
+		inv: make([]complex128, n-1),
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		half := length / 2
+		w := complex(1, 0)
+		for j := 0; j < half; j++ {
+			t.fwd[half-1+j] = w
+			t.inv[half-1+j] = complex(real(w), -imag(w))
+			w *= wl
+		}
+	}
+	actual, _ := twiddleCache.LoadOrStore(n, t)
+	return actual.(*twiddleTable)
 }
 
 // Transform computes the in-place radix-2 FFT of x. len(x) must be a power
@@ -35,21 +77,23 @@ func Transform(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
+	if n <= 1 {
+		return // length 0/1 transforms are the identity (1/N scaling is ×1)
+	}
+	tw := twiddles(n)
+	roots := tw.fwd
+	if inverse {
+		roots = tw.inv
+	}
 	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := complex(math.Cos(ang), math.Sin(ang))
+		half := length / 2
+		stage := roots[half-1 : half-1+half]
 		for i := 0; i < n; i += length {
-			w := complex(1, 0)
-			half := length / 2
 			for j := 0; j < half; j++ {
 				u := x[i+j]
-				v := x[i+j+half] * w
+				v := x[i+j+half] * stage[j]
 				x[i+j] = u + v
 				x[i+j+half] = u - v
-				w *= wl
 			}
 		}
 	}
@@ -61,9 +105,37 @@ func Transform(x []complex128, inverse bool) {
 	}
 }
 
+// scratchPool recycles the two complex work buffers of Convolve. The DVFS
+// policies convolve service-time PDFs on every scheduling decision, so
+// without reuse each decision allocates two transform-sized buffers; with
+// the pool, steady state allocates only the caller-owned output slice.
+var scratchPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+// getScratch returns a pooled length-n buffer (via its pool box, so Put
+// needs no re-boxing) with the leading entries loaded from src as real
+// values and the rest zeroed.
+func getScratch(n int, src []float64) *[]complex128 {
+	p := scratchPool.Get().(*[]complex128)
+	s := *p
+	if cap(s) < n {
+		s = make([]complex128, n)
+	}
+	s = s[:n]
+	*p = s
+	for i, v := range src {
+		s[i] = complex(v, 0)
+	}
+	for i := len(src); i < n; i++ {
+		s[i] = 0
+	}
+	return p
+}
+
 // Convolve returns the full linear convolution of a and b
 // (length len(a)+len(b)-1) computed via FFT. Small inputs fall back to the
-// direct algorithm, which is faster below the FFT break-even point.
+// direct algorithm, which is faster below the FFT break-even point. Work
+// buffers come from an internal pool; only the returned slice is a fresh
+// allocation.
 func Convolve(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
@@ -73,14 +145,8 @@ func Convolve(a, b []float64) []float64 {
 		return ConvolveDirect(a, b)
 	}
 	n := NextPow2(outLen)
-	fa := make([]complex128, n)
-	fb := make([]complex128, n)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
+	pa, pb := getScratch(n, a), getScratch(n, b)
+	fa, fb := *pa, *pb
 	Transform(fa, false)
 	Transform(fb, false)
 	for i := range fa {
@@ -96,6 +162,8 @@ func Convolve(a, b []float64) []float64 {
 		}
 		out[i] = v
 	}
+	scratchPool.Put(pa)
+	scratchPool.Put(pb)
 	return out
 }
 

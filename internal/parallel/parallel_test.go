@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"eprons/internal/rng"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 4, 64} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if out, err := Map(0, 8, func(int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("n=0: %v %v", out, err)
+	}
+	out, err := Map(1, 8, func(int) (string, error) { return "x", nil })
+	if err != nil || len(out) != 1 || out[0] != "x" {
+		t.Fatalf("n=1: %v %v", out, err)
+	}
+}
+
+func TestMapSequentialPathUsesNoGoroutines(t *testing.T) {
+	// The workers<=1 contract: fn runs on the calling goroutine, in order.
+	var order []int
+	_, err := Map(10, 1, func(i int) (int, error) {
+		order = append(order, i) // would race if goroutines were involved
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(50, workers, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(8, workers, func(i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want PanicError, got %v", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: bad PanicError: %+v", workers, pe)
+		}
+	}
+}
+
+func TestMapRunsEveryTaskOnce(t *testing.T) {
+	var counts [257]atomic.Int32
+	_, err := Map(len(counts), 8, func(i int) (int, error) {
+		counts[i].Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapSeededDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := MapSeeded(32, workers, 42, "det", func(i int, s *rng.Stream) (float64, error) {
+			// Uneven consumption per task: decoupling must still hold.
+			v := 0.0
+			for j := 0; j <= i%5; j++ {
+				v = s.Float64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := run(workers); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d: streams drifted from sequential", workers)
+		}
+	}
+	// And the streams must match TaskStream's documented derivation.
+	want := TaskStream(42, "det", 0).Float64()
+	if seq[0] != want {
+		t.Fatalf("task 0 stream mismatch: %g vs %g", seq[0], want)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var hits [64]atomic.Int32
+	if err := ForEach(len(hits), 4, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("task %d hit %d times", i, hits[i].Load())
+		}
+	}
+	wantErr := fmt.Errorf("nope")
+	if err := ForEach(4, 2, func(i int) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("ForEach error not propagated: %v", err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers must be >= 1")
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures the event hot path: schedule 100k
+// events (every 4th cancelled), then drain. The engine is reused across
+// iterations so the event free-list (and the heap's backing array) can do
+// its job; allocs/op is the headline metric.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	const events = 100_000
+	e := New()
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		ids := make([]EventID, 0, events/4)
+		for j := 0; j < events; j++ {
+			id := e.Schedule(base+float64(j%97)*1e-6, func() { sink++ })
+			if j%4 == 0 {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			e.Cancel(id)
+		}
+		e.RunAll()
+	}
+	_ = sink
+}
+
+// BenchmarkEngineAfterChain measures the self-rescheduling pattern every
+// arrival process in the repo uses: one live event that re-arms itself.
+func BenchmarkEngineAfterChain(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1e-6, tick)
+		}
+	}
+	e.After(1e-6, tick)
+	e.RunAll()
+}

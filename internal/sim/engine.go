@@ -64,6 +64,12 @@ type Engine struct {
 	seq     int64
 	pending map[EventID]*event
 	stopped bool
+	// free recycles popped heap entries: long simulations schedule millions
+	// of transient events, and reusing the structs keeps the hot
+	// Schedule/Run loop allocation-free once the pool matches the peak
+	// queue depth. Its length is bounded by the high-water mark of the
+	// heap.
+	free []*event
 	// Processed counts events executed so far (skipping cancelled ones).
 	Processed int64
 }
@@ -90,11 +96,26 @@ func (e *Engine) Schedule(at float64, fn func()) EventID {
 		e.pending = make(map[EventID]*event)
 	}
 	e.seq++
-	ev := &event{time: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{time: at, seq: e.seq, fn: fn}
+	} else {
+		ev = &event{time: at, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.heap, ev)
 	id := EventID(e.seq)
 	e.pending[id] = ev
 	return id
+}
+
+// recycle returns a popped entry to the free list, dropping the closure so
+// captured state is released immediately.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d seconds from now.
@@ -129,12 +150,15 @@ func (e *Engine) Run(until float64) {
 		}
 		heap.Pop(&e.heap)
 		if next.cancelled {
+			e.recycle(next)
 			continue
 		}
 		delete(e.pending, EventID(next.seq))
 		e.now = next.time
 		e.Processed++
-		next.fn()
+		fn := next.fn
+		e.recycle(next) // fn may Schedule and reuse the entry
+		fn()
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -148,11 +172,14 @@ func (e *Engine) RunAll() {
 	for len(e.heap) > 0 && !e.stopped {
 		next := heap.Pop(&e.heap).(*event)
 		if next.cancelled {
+			e.recycle(next)
 			continue
 		}
 		delete(e.pending, EventID(next.seq))
 		e.now = next.time
 		e.Processed++
-		next.fn()
+		fn := next.fn
+		e.recycle(next) // fn may Schedule and reuse the entry
+		fn()
 	}
 }

@@ -200,13 +200,3 @@ func TestQuickCancelConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func BenchmarkEngineScheduleRun(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		e := New()
-		for j := 0; j < 1024; j++ {
-			e.Schedule(float64(j%97), func() {})
-		}
-		e.RunAll()
-	}
-}
