@@ -1,22 +1,33 @@
 # Development entry points for the EPRONS reproduction.
 #
-#   make check   — everything CI needs: build, vet, tests, and the race
-#                  detector over the concurrency-bearing packages
-#                  (internal/parallel and internal/core, which exercise the
-#                  worker pool, the parallel K search, table training and
-#                  the diurnal fan-out).
+#   make check   — everything CI needs: build, lint (gofmt + vet), tests,
+#                  and the race detector over the concurrency-bearing
+#                  packages (internal/parallel and internal/core for the
+#                  worker pool and sweeps; internal/netsim,
+#                  internal/cluster and internal/faults for the
+#                  fault-injection availability harness that runs inside
+#                  parallel sweeps).
+#   make lint    — gofmt (must be clean) + go vet.
 #   make bench   — the allocation/latency benchmarks the perf work tracks
 #                  (engine scheduling, FFT convolution reuse, DVFS decide).
 #   make race    — just the race-detector subset.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build vet test race bench
+.PHONY: check build lint vet test race bench
 
-check: build vet test race
+check: build lint test race
 
 build:
 	$(GO) build ./...
+
+lint:
+	@fmt_out=$$($(GOFMT) -l cmd examples internal); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/netsim ./internal/cluster ./internal/faults
 
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkEngine|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution' -benchmem \

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	epronsim [-quick] [-step 60] [-traces]
+//	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1]
+//
+// The -faults mode runs the availability experiment instead: seeded
+// switch crashes and link flaps against the consolidated fabric, with
+// controller route repair and aggregator sub-query retry, reporting query
+// goodput, retries and SLA miss rate per fault rate.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"eprons/internal/experiments"
 	"eprons/internal/parallel"
@@ -25,6 +33,10 @@ func main() {
 	quick := flag.Bool("quick", false, "small training grid (faster, coarser)")
 	step := flag.Float64("step", 60, "reporting granularity in seconds (Fig 15 uses 60)")
 	tracesOnly := flag.Bool("traces", false, "print only the Fig 14 traces")
+	faultsMode := flag.Bool("faults", false, "run the fault-injection availability experiment and exit")
+	faultRates := flag.String("faultrates", "0,0.5,1,2", "fault rates to sweep (total fail events/s, split between switch crashes and link flaps)")
+	faultDur := flag.Float64("faultdur", 5, "seconds of traffic and fault injection per rate")
+	faultSeed := flag.Int64("faultseed", 1, "seed for the fault schedule and workload streams")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "concurrency for table training, the per-scheme diurnal replays and the planner's K search (<=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -54,6 +66,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *faultsMode {
+		if err := runFaults(*faultRates, *faultDur, *faultSeed, *workers, *csvOut); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *tracesOnly {
@@ -101,6 +120,27 @@ func main() {
 		experiments.Pct(sum.TTAvgSaving), experiments.Pct(sum.TTPeakSaving),
 		experiments.Pct(sum.ServerAvgTT))
 	fmt.Printf("\npaper reference: EPRONS 25%% avg / 31.25%% peak; TimeTrader 8%% avg / 12.5%% peak\n")
+}
+
+func runFaults(ratesArg string, dur float64, seed int64, workers int, csv bool) error {
+	var rates []float64
+	for _, part := range strings.Split(ratesArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return err
+		}
+		rates = append(rates, v)
+	}
+	rows, err := experiments.AvailabilitySweep(rates, experiments.AvailabilityConfig{
+		DurationS: dur,
+		Seed:      seed,
+		Workers:   workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(experiments.AvailabilityTable(rows), csv))
+	return nil
 }
 
 func printTraces(csv bool) {

@@ -8,6 +8,12 @@
 // Usage:
 //
 //	joint [-quick] [-bg 0.01,0.20,0.50]
+//	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1]
+//
+// The -faults mode skips the Fig 13 evaluation and instead runs the
+// fault-injection availability sweep: seeded switch crashes and link
+// flaps against the consolidated fabric, with controller route repair and
+// aggregator sub-query retry.
 package main
 
 import (
@@ -40,6 +46,10 @@ func main() {
 	quick := flag.Bool("quick", false, "small training grid (faster, coarser)")
 	bgArg := flag.String("bg", "0.01,0.20,0.50", "background utilizations (fractions)")
 	netScale := flag.Float64("netscale", 25, "network-latency calibration: 25 matches the paper's MiniNet magnitudes, 1 = clean simulator")
+	faultsMode := flag.Bool("faults", false, "run the fault-injection availability experiment and exit")
+	faultRates := flag.String("faultrates", "0,0.5,1,2", "fault rates to sweep (total fail events/s, split between switch crashes and link flaps)")
+	faultDur := flag.Float64("faultdur", 5, "seconds of traffic and fault injection per rate")
+	faultSeed := flag.Int64("faultseed", 1, "seed for the fault schedule and workload streams")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "training/evaluation concurrency (cells are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,6 +79,23 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *faultsMode {
+		rates, err := parseFloats(*faultRates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := experiments.AvailabilitySweep(rates, experiments.AvailabilityConfig{
+			DurationS: *faultDur,
+			Seed:      *faultSeed,
+			Workers:   *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(experiments.AvailabilityTable(rows), *csvOut))
+		return
 	}
 
 	bgs, err := parseFloats(*bgArg)

@@ -58,6 +58,27 @@ type Config struct {
 	PolicyFactory func(host, core int) server.Policy
 	// Seed drives aggregator choice.
 	Seed int64
+
+	// SubQueryTimeout arms a per-sub-query retry timer at the aggregator:
+	// if the reply has not arrived this many seconds after the sub-query
+	// was sent, the attempt is abandoned (a late reply is ignored) and the
+	// sub-query is retried if budget remains, else marked failed. 0
+	// (default) disables the timers entirely — no extra events are
+	// scheduled, preserving the determinism contract for fault-free runs;
+	// dropped messages are still detected through the simulator's drop
+	// notifications so a lost sub-query can never strand its query.
+	SubQueryTimeout float64
+	// RetryBudget is the number of sub-query re-sends each query may spend
+	// across all of its sub-queries (the paper's consolidation transients
+	// are short; a small budget suffices). 0 (default) disables retries: a
+	// failed sub-query immediately marks the whole query lost.
+	RetryBudget int
+	// RetryDelay is the pause before re-sending a sub-query whose message
+	// was reported dropped (default 1 ms) — immediate re-sends on a dead
+	// route would burn the whole budget before route repair can run.
+	// Timeout-triggered retries re-send immediately, since the timeout
+	// itself already waited.
+	RetryDelay float64
 }
 
 // DefaultConfig fills the paper's values around a service distribution and
@@ -100,19 +121,59 @@ func (c *Config) fill() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.SubQueryTimeout < 0 {
+		c.SubQueryTimeout = 0
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 1e-3
+	}
 	return nil
 }
 
-// Stats aggregates query-level results.
+// Stats aggregates query-level results. The accounting identity is
+//
+//	QueriesSubmitted = Queries + QueriesLost + Orphans()
+//
+// where Orphans() is the number of queries still unresolved (in flight, or
+// stranded by a bug — a drained engine must leave it at zero).
 type Stats struct {
+	// QueriesSubmitted counts every query handed to SubmitQuery.
+	QueriesSubmitted int
+	// Queries counts completed queries: every sub-query answered.
 	Queries      int
 	QueryLatency metrics.Tracker // end-to-end (aggregate of 15 sub-queries)
 	SLAMisses    int             // end-to-end latency > ServerBudget+NetworkBudget
+	// QueriesLost counts queries that terminated incomplete: at least one
+	// sub-query was dropped or timed out with no retry budget left. They
+	// are the honest denominator share that used to silently vanish.
+	QueriesLost  int
 	NetReqLat    metrics.Tracker // per-sub-query request network latency
 	NetReplyLat  metrics.Tracker // per-sub-query reply network latency
 	ServerLat    metrics.Tracker // per-sub-query server time (queue + service)
 	SlackGranted metrics.Tracker // per-sub-query slack handed to the server
-	DroppedSub   int
+	// DroppedSub counts dropped sub-query messages (request or reply), at
+	// most once per message.
+	DroppedSub int
+	// Retries counts sub-query re-sends; Timeouts counts retry timers
+	// that fired (Config.SubQueryTimeout).
+	Retries  int
+	Timeouts int
+}
+
+// Orphans returns the number of submitted queries not yet resolved as
+// completed or lost. After the event queue drains it must be zero: every
+// failure path resolves its query.
+func (s *Stats) Orphans() int { return s.QueriesSubmitted - s.Queries - s.QueriesLost }
+
+// Goodput returns the fraction of submitted queries that completed.
+func (s *Stats) Goodput() float64 {
+	if s.QueriesSubmitted == 0 {
+		return 0
+	}
+	return float64(s.Queries) / float64(s.QueriesSubmitted)
 }
 
 // BreakdownMeans returns the mean per-sub-query latency decomposition
@@ -235,61 +296,177 @@ func (c *Cluster) Servers() []*server.Server { return c.srvs }
 // Stats returns aggregate query statistics.
 func (c *Cluster) Stats() *Stats { return &c.stats }
 
+// query is the aggregator-side state of one partition-aggregate query. It
+// resolves exactly once per sub-query (success or failure), so the query
+// itself always terminates as completed or lost — never silently vanishing
+// the way a dropped sub-query used to.
+type query struct {
+	start  float64
+	total  int
+	done   int // sub-queries answered
+	failed int // sub-queries permanently failed
+	budget int // remaining retry budget (shared across the sub-queries)
+}
+
+// subQuery tracks one ISN's sub-query across retry attempts. gen is the
+// attempt generation: callbacks carry the generation they were armed with,
+// and stale callbacks (a late reply racing a timeout-triggered retry, a
+// drop notification for an abandoned attempt) are ignored.
+type subQuery struct {
+	q        *query
+	aggIdx   int
+	isn      int
+	base     float64
+	gen      int
+	resolved bool
+	timer    sim.EventID
+	hasTimer bool
+}
+
 // SubmitQuery runs one partition-aggregate query starting now: a random
 // aggregator broadcasts to every other host; sampler provides each
-// sub-query's base service time.
+// sub-query's base service time. A sub-query whose request or reply is
+// dropped — or, with SubQueryTimeout set, whose reply is late — is retried
+// while the query's RetryBudget lasts, then marks the query lost.
 func (c *Cluster) SubmitQuery(sampler func() float64) {
 	aggIdx := c.agg.Intn(len(c.hosts))
-	start := c.eng.Now()
-	total := len(c.hosts) - 1
-	replies := 0
-	reqBudget := c.Cfg.NetworkBudget * c.Cfg.RequestBudgetFrac
-	if c.Cfg.FullBudgetSlack {
-		reqBudget = c.Cfg.NetworkBudget
+	c.stats.QueriesSubmitted++
+	q := &query{
+		start:  c.eng.Now(),
+		total:  len(c.hosts) - 1,
+		budget: c.Cfg.RetryBudget,
 	}
-
-	finishOne := func() {
-		replies++
-		if replies == total {
-			lat := c.eng.Now() - start
-			c.stats.Queries++
-			c.stats.QueryLatency.Add(lat)
-			if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
-				c.stats.SLAMisses++
-			}
-		}
-	}
-
 	for isn := range c.hosts {
 		if isn == aggIdx {
 			continue
 		}
-		isn := isn
-		base := sampler()
-		c.net.SendMessage(c.FlowID(aggIdx, isn), c.Cfg.SubQueryBytes, func(netLat float64) {
-			now := c.eng.Now()
-			c.stats.NetReqLat.Add(netLat)
-			slack := 0.0
-			if c.Cfg.UseSlack {
-				slack = reqBudget - netLat
-				if slack < 0 {
-					slack = 0
+		sq := &subQuery{q: q, aggIdx: aggIdx, isn: isn, base: sampler()}
+		c.sendAttempt(sq)
+	}
+}
+
+// sendAttempt transmits the current attempt of sq and arms its timeout.
+func (c *Cluster) sendAttempt(sq *subQuery) {
+	gen := sq.gen
+	if c.Cfg.SubQueryTimeout > 0 {
+		sq.timer = c.eng.After(c.Cfg.SubQueryTimeout, func() { c.onTimeout(sq, gen) })
+		sq.hasTimer = true
+	}
+	c.net.SendMessage(c.FlowID(sq.aggIdx, sq.isn), c.Cfg.SubQueryBytes,
+		func(netLat float64) { c.onRequestArrived(sq, gen, netLat) },
+		func() { c.onDrop(sq, gen) })
+}
+
+// onRequestArrived turns a delivered sub-query request into a server
+// request with the measured network slack (paper §IV-C).
+func (c *Cluster) onRequestArrived(sq *subQuery, gen int, netLat float64) {
+	if sq.resolved || gen != sq.gen {
+		return // attempt abandoned while the request was in flight
+	}
+	now := c.eng.Now()
+	c.stats.NetReqLat.Add(netLat)
+	reqBudget := c.Cfg.NetworkBudget * c.Cfg.RequestBudgetFrac
+	if c.Cfg.FullBudgetSlack {
+		reqBudget = c.Cfg.NetworkBudget
+	}
+	slack := 0.0
+	if c.Cfg.UseSlack {
+		slack = reqBudget - netLat
+		if slack < 0 {
+			slack = 0
+		}
+	}
+	c.stats.SlackGranted.Add(slack)
+	c.nextID++
+	req := &server.Request{
+		ID:             c.nextID,
+		Arrival:        now,
+		BaseServiceS:   sq.base,
+		ServerDeadline: now + c.Cfg.ServerBudget,
+		SlackDeadline:  now + c.Cfg.ServerBudget + slack,
+	}
+	c.enqueueWithReply(sq, gen, req)
+}
+
+// onReplyArrived resolves a sub-query whose reply made it back.
+func (c *Cluster) onReplyArrived(sq *subQuery, gen int, replyLat float64) {
+	if sq.resolved || gen != sq.gen {
+		return // a retry already superseded this attempt
+	}
+	sq.resolved = true
+	c.disarmTimer(sq)
+	c.stats.NetReplyLat.Add(replyLat)
+	sq.q.done++
+	c.maybeFinish(sq.q)
+}
+
+// onDrop handles the simulator's message-level drop notification for
+// either direction of an attempt.
+func (c *Cluster) onDrop(sq *subQuery, gen int) {
+	c.stats.DroppedSub++
+	if sq.resolved || gen != sq.gen {
+		return // drop of an already-abandoned attempt
+	}
+	c.failAttempt(sq, false)
+}
+
+// onTimeout fires when an attempt's reply is late.
+func (c *Cluster) onTimeout(sq *subQuery, gen int) {
+	if sq.resolved || gen != sq.gen {
+		return
+	}
+	sq.hasTimer = false
+	c.stats.Timeouts++
+	c.failAttempt(sq, true)
+}
+
+// failAttempt retries the sub-query if budget remains, else resolves it as
+// failed. Timeout-triggered retries re-send immediately; drop-triggered
+// retries wait RetryDelay so route repair can land first.
+func (c *Cluster) failAttempt(sq *subQuery, fromTimeout bool) {
+	c.disarmTimer(sq)
+	sq.gen++ // late callbacks from the dead attempt become stale
+	if sq.q.budget > 0 {
+		sq.q.budget--
+		c.stats.Retries++
+		if fromTimeout {
+			c.sendAttempt(sq)
+		} else {
+			c.eng.After(c.Cfg.RetryDelay, func() {
+				if !sq.resolved {
+					c.sendAttempt(sq)
 				}
-			}
-			c.stats.SlackGranted.Add(slack)
-			c.nextID++
-			id := c.nextID
-			req := &server.Request{
-				ID:             id,
-				Arrival:        now,
-				BaseServiceS:   base,
-				ServerDeadline: now + c.Cfg.ServerBudget,
-				SlackDeadline:  now + c.Cfg.ServerBudget + slack,
-			}
-			c.enqueueWithReply(isn, aggIdx, req, finishOne)
-		}, func() {
-			c.stats.DroppedSub++
-		})
+			})
+		}
+		return
+	}
+	sq.resolved = true
+	sq.q.failed++
+	c.maybeFinish(sq.q)
+}
+
+// disarmTimer cancels a pending retry timer, if armed.
+func (c *Cluster) disarmTimer(sq *subQuery) {
+	if sq.hasTimer {
+		c.eng.Cancel(sq.timer)
+		sq.hasTimer = false
+	}
+}
+
+// maybeFinish closes the query once every sub-query has resolved.
+func (c *Cluster) maybeFinish(q *query) {
+	if q.done+q.failed != q.total {
+		return
+	}
+	if q.failed > 0 {
+		c.stats.QueriesLost++
+		return
+	}
+	lat := c.eng.Now() - q.start
+	c.stats.Queries++
+	c.stats.QueryLatency.Add(lat)
+	if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
+		c.stats.SLAMisses++
 	}
 }
 
@@ -297,7 +474,10 @@ func (c *Cluster) SubmitQuery(sampler func() float64) {
 type pendingMap map[int64]func()
 
 // enqueueWithReply registers the reply send on completion of this request.
-func (c *Cluster) enqueueWithReply(isn, aggIdx int, req *server.Request, done func()) {
+// The ISN suppresses the reply for attempts the aggregator has already
+// abandoned (the server work is wasted, as it would be in a real cluster).
+func (c *Cluster) enqueueWithReply(sq *subQuery, gen int, req *server.Request) {
+	isn := sq.isn
 	srv := c.srvs[isn]
 	if srv.OnComplete == nil {
 		pend := pendingMap{}
@@ -311,13 +491,13 @@ func (c *Cluster) enqueueWithReply(isn, aggIdx int, req *server.Request, done fu
 	}
 	arrival := req.Arrival
 	c.pendings[isn][req.ID] = func() {
+		if sq.resolved || gen != sq.gen {
+			return // abandoned while queued or in service
+		}
 		c.stats.ServerLat.Add(c.eng.Now() - arrival)
-		c.net.SendMessage(c.FlowID(isn, aggIdx), c.Cfg.ReplyBytes, func(replyLat float64) {
-			c.stats.NetReplyLat.Add(replyLat)
-			done()
-		}, func() {
-			c.stats.DroppedSub++
-		})
+		c.net.SendMessage(c.FlowID(isn, sq.aggIdx), c.Cfg.ReplyBytes,
+			func(replyLat float64) { c.onReplyArrived(sq, gen, replyLat) },
+			func() { c.onDrop(sq, gen) })
 	}
 	srv.Enqueue(req)
 }
@@ -384,15 +564,37 @@ func (c *Cluster) ServerPowerW(t0, t float64) float64 {
 	return c.CPUPowerW(t0, t) + float64(len(c.srvs))*power.ServerStaticW
 }
 
-// MissRate returns the end-to-end (query-level) SLA miss fraction. Note
-// that a query aggregates 15 parallel sub-queries, so its tail amplifies
-// the per-request tail (tail-at-scale); the paper's §III SLA is the
-// per-request one, reported by RequestMissRate.
+// MissRate returns the end-to-end (query-level) SLA miss fraction over
+// COMPLETED queries. Note that a query aggregates 15 parallel sub-queries,
+// so its tail amplifies the per-request tail (tail-at-scale); the paper's
+// §III SLA is the per-request one, reported by RequestMissRate. Under
+// faults, completed-only denominators flatter the system — see
+// StrictMissRate.
 func (s *Stats) MissRate() float64 {
 	if s.Queries == 0 {
 		return 0
 	}
 	return float64(s.SLAMisses) / float64(s.Queries)
+}
+
+// StrictMissRate counts a lost query as an SLA miss (a user whose query
+// never came back certainly missed their deadline) over the honest
+// denominator of all terminated queries.
+func (s *Stats) StrictMissRate() float64 {
+	terminated := s.Queries + s.QueriesLost
+	if terminated == 0 {
+		return 0
+	}
+	return float64(s.SLAMisses+s.QueriesLost) / float64(terminated)
+}
+
+// LossRate returns the fraction of submitted queries that terminated
+// incomplete.
+func (s *Stats) LossRate() float64 {
+	if s.QueriesSubmitted == 0 {
+		return 0
+	}
+	return float64(s.QueriesLost) / float64(s.QueriesSubmitted)
 }
 
 // RequestMissRate aggregates the per-sub-query slack-deadline miss rate

@@ -66,6 +66,14 @@ type Controller struct {
 	// infeasible or errored rounds (the previous configuration stays).
 	Applied  int
 	Failures int
+	// RepairedRoutes counts flows re-routed by RepairRoutes;
+	// FailedRepairs counts flows it could not restore (a true partition:
+	// every surviving path to the destination is down). Emergencies
+	// counts the times repair had to fall back to powering the whole
+	// healthy fabric back on.
+	RepairedRoutes int
+	FailedRepairs  int
+	Emergencies    int
 	// LastResult is the most recent applied consolidation.
 	LastResult *consolidate.Result
 	running    bool
@@ -216,6 +224,69 @@ func (c *Controller) Flows() []flow.Flow {
 // schedule (used after AddFlow for latency-sensitive tenants).
 func (c *Controller) Reoptimize() error {
 	return c.optimizeOnce()
+}
+
+// RepairRoutes restores connectivity after injected failures invalidate
+// installed routes (the fault injector's OnChange hook calls it). It is
+// the cheap, fast path between optimizer rounds:
+//
+//  1. every managed flow whose installed route traverses an inactive
+//     element is re-routed onto the shortest path through the currently
+//     powered subnet (the consolidation stays minimal);
+//  2. if any flow still has no active path, the controller declares an
+//     emergency and powers the entire healthy fabric back on — energy
+//     saving yields to availability until the next optimizer round
+//     re-consolidates. (With a fault injector installed, elements that
+//     are actually down stay masked off no matter what the controller
+//     requests.)
+//
+// Flows that remain unroutable even then are truly partitioned (every
+// surviving path is down) and are counted in FailedRepairs; their traffic
+// keeps dropping until a repair event restores a path and RepairRoutes
+// runs again. Returns (repaired, failed) for this invocation.
+func (c *Controller) RepairRoutes() (repaired, failed int) {
+	active := c.net.Active()
+	var broken []flow.Flow
+	for _, f := range c.flows {
+		p, ok := c.net.Route(f.ID)
+		if !ok || !active.PathOn(p) {
+			broken = append(broken, f)
+		}
+	}
+	if len(broken) == 0 {
+		return 0, 0
+	}
+	var stranded []flow.Flow
+	for _, f := range broken {
+		if p := active.ShortestActivePath(f.Src, f.Dst); p != nil {
+			if err := c.net.SetRoute(f.ID, p); err != nil {
+				panic(fmt.Sprintf("controller: repair produced invalid route: %v", err))
+			}
+			repaired++
+		} else {
+			stranded = append(stranded, f)
+		}
+	}
+	if len(stranded) > 0 {
+		// Emergency failover: request everything on; the injector filter
+		// keeps genuinely failed elements off.
+		c.Emergencies++
+		c.net.SetActive(topology.NewActiveSet(c.net.Graph()))
+		active = c.net.Active()
+		for _, f := range stranded {
+			if p := active.ShortestActivePath(f.Src, f.Dst); p != nil {
+				if err := c.net.SetRoute(f.ID, p); err != nil {
+					panic(fmt.Sprintf("controller: repair produced invalid route: %v", err))
+				}
+				repaired++
+			} else {
+				failed++
+			}
+		}
+	}
+	c.RepairedRoutes += repaired
+	c.FailedRepairs += failed
+	return repaired, failed
 }
 
 func unionActive(g *topology.Graph, a, b *topology.ActiveSet) *topology.ActiveSet {

@@ -1,0 +1,135 @@
+package controller
+
+import (
+	"testing"
+
+	"eprons/internal/faults"
+	"eprons/internal/topology"
+)
+
+// TestRepairReroutesAroundDeadLink kills one link on an installed route
+// and checks the controller re-routes the flow within the powered subnet.
+func TestRepairReroutesAroundDeadLink(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 2), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := net.Route(flows[0].ID)
+	if !ok {
+		t.Fatal("flow 1 unrouted")
+	}
+	// Power the full fabric (plenty of detours), then kill the first
+	// switch-to-switch link of flow 1's route: repair must find an
+	// in-subnet alternative without declaring an emergency.
+	lid, _ := ft.Graph.FindLink(p[1], p[2])
+	a := topology.NewActiveSet(ft.Graph)
+	a.SetLink(lid, false)
+	net.SetActive(a)
+
+	repaired, failed := c.RepairRoutes()
+	if failed != 0 {
+		t.Fatalf("failed=%d, want 0", failed)
+	}
+	if repaired == 0 {
+		t.Fatal("no route repaired")
+	}
+	np, _ := net.Route(flows[0].ID)
+	if !net.Active().PathOn(np) {
+		t.Fatal("repaired route not fully active")
+	}
+	if c.RepairedRoutes != repaired || c.FailedRepairs != 0 || c.Emergencies != 0 {
+		t.Fatalf("counters repaired=%d failed=%d emergencies=%d",
+			c.RepairedRoutes, c.FailedRepairs, c.Emergencies)
+	}
+}
+
+// TestRepairEscalatesToEmergency strands a flow inside the consolidated
+// subnet (no surviving active path) and checks the controller powers the
+// healthy fabric back on rather than giving up.
+func TestRepairEscalatesToEmergency(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	// K=1 leaves a single spanning tree: killing the edge uplink carrying
+	// flow 1 strands it within the consolidation.
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := net.Route(flows[0].ID)
+	// Kill every active link out of the flow's first switch except its
+	// access link, so the consolidated subnet has no detour.
+	a := net.Active().Clone()
+	first := p[1]
+	for _, l := range ft.Graph.Links() {
+		if (l.A == first || l.B == first) && a.LinkOn(l.ID) {
+			other := l.A
+			if other == first {
+				other = l.B
+			}
+			if ft.Graph.Node(other).Kind.IsSwitch() {
+				a.SetLink(l.ID, false)
+			}
+		}
+	}
+	net.SetActive(a)
+
+	repaired, failed := c.RepairRoutes()
+	if failed != 0 {
+		t.Fatalf("failed=%d, want 0 (full fabric has a path)", failed)
+	}
+	if repaired == 0 || c.Emergencies != 1 {
+		t.Fatalf("repaired=%d emergencies=%d, want >0 and 1", repaired, c.Emergencies)
+	}
+	np, _ := net.Route(flows[0].ID)
+	if !net.Active().PathOn(np) {
+		t.Fatal("post-emergency route not active")
+	}
+}
+
+// TestEmergencyRespectsFaultMask: with an injector installed, the
+// emergency power-on must not resurrect elements that are genuinely down —
+// a truly partitioned flow counts as a failed repair.
+func TestEmergencyRespectsFaultMask(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	inj := faults.NewInjector(net)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail flow 1's destination access link via the injector: no amount of
+	// re-powering can reach that host.
+	p, _ := net.Route(flows[0].ID)
+	dst := p[len(p)-1]
+	lid, _ := ft.Graph.FindLink(p[len(p)-2], dst)
+	sched := &faults.Schedule{}
+	sched.Append(faults.Event{At: 0, Kind: faults.LinkFail, Link: lid})
+	if err := inj.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	// Run just far enough for the fault event; the controller's periodic
+	// ticks (2 s, 600 s) reschedule forever, so a full drain never ends.
+	eng.Run(1e-3)
+
+	repaired, failed := c.RepairRoutes()
+	if failed != 1 {
+		t.Fatalf("failed=%d, want 1 (host unreachable while its access link is down)", failed)
+	}
+	if c.Emergencies != 1 {
+		t.Fatalf("emergencies=%d, want 1", c.Emergencies)
+	}
+	// The genuinely failed link stays off even after the emergency
+	// requested the full fabric.
+	if net.Active().LinkOn(lid) {
+		t.Fatal("fault mask bypassed: failed link active after emergency")
+	}
+	_ = repaired
+}

@@ -319,8 +319,10 @@ func (t *TimeTrader) Name() string { return "timetrader" }
 func (t *TimeTrader) OnDecision(now float64, cur *server.Request, queue []*server.Request) float64 {
 	if now-t.lastAdjust >= t.Period {
 		t.lastAdjust = now
-		if t.window.Count() > 0 {
-			ratio := t.window.Quantile(t.Quantile)
+		// Evict-on-read: after a quiet gap the window must not keep
+		// feeding decisions from samples older than its span.
+		if t.window.CountAt(now) > 0 {
+			ratio := t.window.QuantileAt(now, t.Quantile)
 			switch {
 			case ratio > 1 && t.freqIdx < len(t.grid)-1:
 				t.freqIdx++

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"eprons/internal/fattree"
+	"eprons/internal/netsim"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+func testTree(t testing.TB) *fattree.FatTree {
+	t.Helper()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func genCfg() ScheduleConfig {
+	return ScheduleConfig{Duration: 10, SwitchFailsPerSec: 1, LinkFlapsPerSec: 1}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ft := testTree(t)
+	a := Generate(ft.Graph, genCfg(), 42)
+	b := Generate(ft.Graph, genCfg(), 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (graph, config, seed) produced different schedules")
+	}
+	c := Generate(ft.Graph, genCfg(), 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	if a.Len() == 0 {
+		t.Fatal("rate 1/s over 10 s produced no events")
+	}
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	ft := testTree(t)
+	s := Generate(ft.Graph, genCfg(), 7)
+	last := -1.0
+	for _, ev := range s.Events {
+		if ev.At < last {
+			t.Fatalf("events out of order: %g after %g", ev.At, last)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case SwitchFail:
+			if ev.At >= 10 {
+				t.Fatalf("fail event at %g, after Duration", ev.At)
+			}
+			if ft.Graph.Node(ev.Node).Kind == topology.EdgeSwitch {
+				t.Fatal("edge switch failed with FailEdge unset")
+			}
+			if !ft.Graph.Node(ev.Node).Kind.IsSwitch() {
+				t.Fatal("non-switch victim")
+			}
+		case LinkFail:
+			if ev.At >= 10 {
+				t.Fatalf("fail event at %g, after Duration", ev.At)
+			}
+		}
+	}
+	// Every failure has a strictly later matching repair.
+	downN := map[topology.NodeID]float64{}
+	downL := map[topology.LinkID]float64{}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case SwitchFail:
+			if _, dup := downN[ev.Node]; dup {
+				t.Fatal("double switch failure without repair")
+			}
+			downN[ev.Node] = ev.At
+		case SwitchRepair:
+			at, ok := downN[ev.Node]
+			if !ok || ev.At <= at {
+				t.Fatalf("repair without matching failure (or non-positive outage)")
+			}
+			delete(downN, ev.Node)
+		case LinkFail:
+			if _, dup := downL[ev.Link]; dup {
+				t.Fatal("double link failure without repair")
+			}
+			downL[ev.Link] = ev.At
+		case LinkRepair:
+			at, ok := downL[ev.Link]
+			if !ok || ev.At <= at {
+				t.Fatalf("link repair without matching failure")
+			}
+			delete(downL, ev.Link)
+		}
+	}
+	if len(downN) != 0 || len(downL) != 0 {
+		t.Fatalf("unrepaired elements at end of schedule: %d switches, %d links", len(downN), len(downL))
+	}
+}
+
+func TestHelpersBuildPairs(t *testing.T) {
+	evs := Transient(1.0, 0.5, 3, 4)
+	if len(evs) != 4 {
+		t.Fatalf("transient produced %d events, want 4", len(evs))
+	}
+	evs = SwitchCrash(2.0, 1.0, 9)
+	if len(evs) != 2 || evs[0].Kind != SwitchFail || evs[1].Kind != SwitchRepair || evs[1].At != 3.0 {
+		t.Fatalf("bad switch crash pair: %+v", evs)
+	}
+	s := &Schedule{}
+	s.Append(Event{At: 5, Kind: LinkFail, Link: 1})
+	s.Append(Event{At: 1, Kind: LinkFail, Link: 2})
+	if s.Events[0].At != 1 {
+		t.Fatal("Append did not keep the schedule sorted")
+	}
+}
+
+func TestInjectorMasksAndUnmasks(t *testing.T) {
+	ft := testTree(t)
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	inj := NewInjector(net)
+
+	var victim topology.NodeID
+	for _, n := range ft.Graph.Nodes() {
+		if n.Kind == topology.CoreSwitch {
+			victim = n.ID
+			break
+		}
+	}
+	changes := 0
+	inj.OnChange = func(Event) { changes++ }
+	sched := &Schedule{}
+	sched.Append(SwitchCrash(1.0, 2.0, victim)...)
+	if err := inj.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Start(sched); err == nil {
+		t.Fatal("second Start accepted")
+	}
+
+	eng.Run(1.5) // after the failure, before the repair
+	if net.Active().NodeOn(victim) {
+		t.Fatal("failed switch still active")
+	}
+	if !inj.NodeDown(victim) {
+		t.Fatal("NodeDown false for failed switch")
+	}
+	// The controller keeps installing its full desired set; the failed
+	// element must stay masked out of it.
+	net.SetActive(topology.NewActiveSet(ft.Graph))
+	if net.Active().NodeOn(victim) {
+		t.Fatal("mask bypassed by reinstalling the full fabric")
+	}
+
+	eng.RunAll() // repair at t=3
+	if !net.Active().NodeOn(victim) {
+		t.Fatal("repaired switch not restored to the desired set")
+	}
+	if nodes, links := inj.Down(); nodes != 0 || links != 0 {
+		t.Fatalf("down counts %d/%d after repair, want 0/0", nodes, links)
+	}
+	if changes != 2 || inj.Injected != 2 {
+		t.Fatalf("changes=%d injected=%d, want 2/2", changes, inj.Injected)
+	}
+}
+
+func TestInjectorNoScheduleIsNoOp(t *testing.T) {
+	ft := testTree(t)
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	inj := NewInjector(net)
+	// Fault-free runs must be bit-identical to runs without the package:
+	// nothing scheduled, active-set requests pass through unchanged.
+	a := topology.NewActiveSet(ft.Graph)
+	var anyLink topology.LinkID = ft.Graph.Links()[0].ID
+	a.SetLink(anyLink, false)
+	net.SetActive(a)
+	if net.Active().LinkOn(anyLink) {
+		t.Fatal("filter altered a request with no faults down")
+	}
+	eng.RunAll()
+	if inj.Injected != 0 {
+		t.Fatal("injector applied events without a schedule")
+	}
+}

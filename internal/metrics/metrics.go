@@ -83,6 +83,12 @@ func (t *Tracker) Reset() {
 // timestamp lies within the last Span seconds and answers percentile
 // queries over that window. TimeTrader's 5-second feedback loop and the
 // EPRONS latency monitor are built on it.
+//
+// Eviction runs on every Add and, via the *At query variants, on reads.
+// The legacy Count/Quantile/Mean accessors answer over whatever samples
+// are currently retained — after a quiet gap (no Adds) they can include
+// samples older than Span, so time-driven callers must use EvictBefore or
+// the *At variants to keep the monitor fresh.
 type Window struct {
 	Span  float64
 	times []float64
@@ -100,6 +106,11 @@ func (w *Window) Add(now, v float64) {
 	w.evict(now)
 }
 
+// EvictBefore drops every sample older than Span as of time now. Queries
+// made at a known time should call this (or use the *At variants) so that
+// an idle gap does not leave stale samples in the window.
+func (w *Window) EvictBefore(now float64) { w.evict(now) }
+
 func (w *Window) evict(now float64) {
 	cut := now - w.Span
 	i := 0
@@ -112,11 +123,19 @@ func (w *Window) evict(now float64) {
 	}
 }
 
-// Count returns the number of samples currently in the window.
+// Count returns the number of samples currently retained (as of the last
+// eviction; see CountAt for a time-fresh answer).
 func (w *Window) Count() int { return len(w.vals) }
 
-// Quantile returns the nearest-rank quantile over the current window, or 0
-// if the window is empty.
+// CountAt evicts stale samples as of now, then counts.
+func (w *Window) CountAt(now float64) int {
+	w.evict(now)
+	return len(w.vals)
+}
+
+// Quantile returns the nearest-rank quantile over the currently retained
+// samples, or 0 if the window is empty (see QuantileAt for a time-fresh
+// answer).
 func (w *Window) Quantile(q float64) float64 {
 	if len(w.vals) == 0 {
 		return 0
@@ -131,7 +150,14 @@ func (w *Window) Quantile(q float64) float64 {
 	return s[idx]
 }
 
-// Mean returns the mean over the current window, or 0 if empty.
+// QuantileAt evicts stale samples as of now, then answers Quantile.
+func (w *Window) QuantileAt(now, q float64) float64 {
+	w.evict(now)
+	return w.Quantile(q)
+}
+
+// Mean returns the mean over the currently retained samples, or 0 if empty
+// (see MeanAt for a time-fresh answer).
 func (w *Window) Mean() float64 {
 	if len(w.vals) == 0 {
 		return 0
@@ -141,6 +167,12 @@ func (w *Window) Mean() float64 {
 		s += v
 	}
 	return s / float64(len(w.vals))
+}
+
+// MeanAt evicts stale samples as of now, then answers Mean.
+func (w *Window) MeanAt(now float64) float64 {
+	w.evict(now)
+	return w.Mean()
 }
 
 // Series records (time, value) pairs, e.g. total system power at one-minute

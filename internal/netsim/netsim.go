@@ -70,6 +70,7 @@ type linkState struct {
 
 // pqPacket is a queued packet awaiting service in priority mode.
 type pqPacket struct {
+	fid     flow.ID
 	bytes   int
 	path    topology.Path
 	hop     int
@@ -84,10 +85,16 @@ type Network struct {
 	eng    *sim.Engine
 	g      *topology.Graph
 	active *topology.ActiveSet
-	routes map[flow.ID]topology.Path
-	links  []linkState
-	// flowBytes counts bytes injected per flow since the last
-	// ResetStats — the per-flow counters the SDN controller polls.
+	// activeFilter, when set, transforms every active set installed via
+	// SetActive before it takes effect (fault injection masks failed
+	// elements this way; see SetActiveFilter).
+	activeFilter func(*topology.ActiveSet) *topology.ActiveSet
+	routes       map[flow.ID]topology.Path
+	links        []linkState
+	// flowBytes counts bytes accepted onto each flow's first hop since
+	// the last ResetStats — the per-flow counters the SDN controller
+	// polls. Packets dropped at hop 0 (inactive ingress or full queue)
+	// are offered but never carried and do not count.
 	flowBytes map[flow.ID]int64
 	// highPrio marks flows served from the high-priority class when
 	// Cfg.PriorityQueueing is on.
@@ -99,6 +106,11 @@ type Network struct {
 	Dropped int64
 	// TailDrops counts only full-queue drops (Config.QueueLimitBytes).
 	TailDrops int64
+	// MsgDropped counts messages lost at the message level: a message is
+	// dropped exactly once no matter how many of its packets drop, and a
+	// message none of whose packets dropped is the only kind reported
+	// delivered (see SendMessage).
+	MsgDropped int64
 }
 
 // New creates a network on g driven by eng, with everything active.
@@ -123,8 +135,26 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 func (n *Network) Graph() *topology.Graph { return n.g }
 
 // SetActive installs the powered subnet. Packets in flight are not
-// interrupted; future hops onto inactive elements drop.
-func (n *Network) SetActive(a *topology.ActiveSet) { n.active = a.Clone() }
+// interrupted; future hops onto inactive elements drop. When an active
+// filter is installed (fault injection), the filter sees the requested set
+// and the network runs on whatever the filter returns.
+func (n *Network) SetActive(a *topology.ActiveSet) {
+	a = a.Clone()
+	if n.activeFilter != nil {
+		a = n.activeFilter(a)
+	}
+	n.active = a
+}
+
+// SetActiveFilter installs (or clears, with nil) a transform applied to
+// every subsequently installed active set. The fault injector uses it to
+// mask crashed switches and flapped links out of whatever subnet the
+// controller requests, without the controller having to know which
+// elements are down. The filter receives a private clone and may mutate
+// and return it.
+func (n *Network) SetActiveFilter(f func(*topology.ActiveSet) *topology.ActiveSet) {
+	n.activeFilter = f
+}
 
 // Active returns the current powered subnet (shared; do not mutate).
 func (n *Network) Active() *topology.ActiveSet { return n.active }
@@ -165,25 +195,62 @@ func (n *Network) InstallRoutes(paths map[flow.ID]topology.Path) error {
 	return nil
 }
 
+// message tracks the delivery state of one multi-packet message so that
+// drop and delivery semantics are message-level: a message is delivered
+// only when every one of its packets arrives, and dropped at most once no
+// matter how many of its packets drop.
+type message struct {
+	packets int
+	arrived int
+	dropped bool
+}
+
 // SendMessage transmits size bytes along the route of fid and calls
-// onDelivered with the message's network latency once its last packet
-// arrives. If the flow has no route or the route is (or becomes) inactive,
-// the message is dropped and onDropped (if non-nil) is called.
+// onDelivered with the message's network latency once ALL of its packets
+// have arrived. If the flow has no route, or any packet of the message
+// hits an inactive element or a full queue, the message is dropped:
+// onDropped (if non-nil) is called exactly once per message and
+// onDelivered never fires — a message missing a middle packet is lost, not
+// delivered. Packet-level drops are counted in Dropped, message-level
+// drops in MsgDropped.
 func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
 	p, ok := n.routes[fid]
 	if !ok || len(p) < 2 {
 		n.Dropped++
+		n.MsgDropped++
 		if onDropped != nil {
 			onDropped()
 		}
 		return
 	}
 	start := n.eng.Now()
-	n.flowBytes[fid] += int64(size)
 	packets := (size + n.Cfg.PacketBytes - 1) / n.Cfg.PacketBytes
 	if packets == 0 {
 		packets = 1
 	}
+	m := &message{packets: packets}
+	// One shared pair of callbacks for every packet of the message: the
+	// message struct, not the packet index, decides delivery.
+	done := func() {
+		if m.dropped {
+			return
+		}
+		m.arrived++
+		if m.arrived == m.packets && onDelivered != nil {
+			onDelivered(n.eng.Now() - start)
+		}
+	}
+	dropped := func() {
+		if m.dropped {
+			return
+		}
+		m.dropped = true
+		n.MsgDropped++
+		if onDropped != nil {
+			onDropped()
+		}
+	}
+	hi := n.highPrio[fid]
 	remaining := size
 	for i := 0; i < packets; i++ {
 		pkt := n.Cfg.PacketBytes
@@ -191,26 +258,21 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 			pkt = remaining
 		}
 		remaining -= pkt
-		last := i == packets-1
-		n.send(p, pkt, n.highPrio[fid], func() {
-			if last && onDelivered != nil {
-				onDelivered(n.eng.Now() - start)
-			}
-		}, onDropped)
+		n.send(fid, p, pkt, hi, done, dropped)
 	}
 }
 
 // send dispatches one packet onto hop 0 with the flow's priority class.
-func (n *Network) send(p topology.Path, bytes int, hi bool, done func(), dropped func()) {
+func (n *Network) send(fid flow.ID, p topology.Path, bytes int, hi bool, done func(), dropped func()) {
 	if n.Cfg.PriorityQueueing {
-		n.forwardPQ(p, 0, bytes, hi, done, dropped)
+		n.forwardPQ(fid, p, 0, bytes, hi, done, dropped)
 		return
 	}
-	n.forward(p, 0, bytes, done, dropped)
+	n.forward(fid, p, 0, bytes, done, dropped)
 }
 
 // forward recursively sends one packet across hop h of path p.
-func (n *Network) forward(p topology.Path, hop, bytes int, done func(), dropped func()) {
+func (n *Network) forward(fid flow.ID, p topology.Path, hop, bytes int, done func(), dropped func()) {
 	if hop >= len(p)-1 {
 		done()
 		return
@@ -246,12 +308,18 @@ func (n *Network) forward(p topology.Path, hop, bytes int, done func(), dropped 
 			return
 		}
 	}
+	if hop == 0 {
+		// Carried-byte accounting: the flow counter the controller polls
+		// counts bytes accepted onto the first hop, not offered bytes — a
+		// packet rejected at hop 0 never reaches any switch counter.
+		n.flowBytes[fid] += int64(bytes)
+	}
 	txTime := float64(bytes) * 8 / l.CapacityBps
 	depart := startTx + txTime
 	ls.busyUntil = depart
 	ls.bytes += int64(bytes)
 	n.eng.Schedule(depart+n.Cfg.HopDelay, func() {
-		n.forward(p, hop+1, bytes, done, dropped)
+		n.forward(fid, p, hop+1, bytes, done, dropped)
 	})
 }
 
@@ -286,8 +354,10 @@ func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.
 				return
 			}
 			if p, ok := n.routes[fid]; ok {
-				n.flowBytes[fid] += int64(n.Cfg.PacketBytes)
-				n.send(p, n.Cfg.PacketBytes, n.highPrio[fid], func() {}, nil)
+				// flowBytes accounting happens at hop-0 acceptance
+				// inside the forwarders, so dropped-at-ingress packets
+				// are not mistaken for carried traffic.
+				n.send(fid, p, n.Cfg.PacketBytes, n.highPrio[fid], func() {}, nil)
 			}
 			tick()
 		})
@@ -357,7 +427,7 @@ func (n *Network) ResetStats() {
 // forwardPQ is the priority-mode hop forwarder: packets enter a two-class
 // queue per link direction; a free link serves the high class first,
 // without preempting the packet in service.
-func (n *Network) forwardPQ(p topology.Path, hop, bytes int, hi bool, done func(), dropped func()) {
+func (n *Network) forwardPQ(fid flow.ID, p topology.Path, hop, bytes int, hi bool, done func(), dropped func()) {
 	if hop >= len(p)-1 {
 		done()
 		return
@@ -376,7 +446,18 @@ func (n *Network) forwardPQ(p topology.Path, hop, bytes int, hi bool, done func(
 		return
 	}
 	ls := &n.links[l.DirIndex(from)]
-	pkt := pqPacket{bytes: bytes, path: p, hop: hop, hi: hi, done: done, dropped: dropped}
+	if hop == 0 {
+		// Mirror the FIFO forwarder: flow counters tick at hop-0
+		// acceptance.
+		n.flowBytes[fid] += int64(bytes)
+	}
+	// Carried-byte accounting at enqueue, matching FIFO mode: a packet
+	// accepted into a priority queue is committed to this link, and
+	// counting it at service time instead would skew the controller's
+	// per-window utilization view between the two modes (the QoS
+	// ablation compares them).
+	ls.bytes += int64(bytes)
+	pkt := pqPacket{fid: fid, bytes: bytes, path: p, hop: hop, hi: hi, done: done, dropped: dropped}
 	if hi {
 		ls.hiQ = append(ls.hiQ, pkt)
 	} else {
@@ -403,12 +484,11 @@ func (n *Network) servePQ(ls *linkState, l topology.Link) {
 	}
 	ls.busy = true
 	tx := float64(pkt.bytes) * 8 / l.CapacityBps
-	ls.bytes += int64(pkt.bytes)
 	n.eng.After(tx, func() {
 		// Hand the packet to the next hop after the fixed hop delay,
 		// then serve whatever is queued here.
 		n.eng.After(n.Cfg.HopDelay, func() {
-			n.forwardPQ(pkt.path, pkt.hop+1, pkt.bytes, pkt.hi, pkt.done, pkt.dropped)
+			n.forwardPQ(pkt.fid, pkt.path, pkt.hop+1, pkt.bytes, pkt.hi, pkt.done, pkt.dropped)
 		})
 		n.servePQ(ls, l)
 	})
