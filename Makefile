@@ -1,21 +1,36 @@
 # Development entry points for the EPRONS reproduction.
 #
-#   make check   — everything CI needs: build, lint (gofmt + vet), tests,
-#                  and the race detector over the concurrency-bearing
-#                  packages (internal/parallel and internal/core for the
-#                  worker pool and sweeps; internal/netsim,
-#                  internal/cluster and internal/faults for the
-#                  fault-injection availability harness that runs inside
-#                  parallel sweeps).
-#   make lint    — gofmt (must be clean) + go vet.
-#   make bench   — the allocation/latency benchmarks the perf work tracks
-#                  (engine scheduling, FFT convolution reuse, DVFS decide).
-#   make race    — just the race-detector subset.
+#   make check      — everything CI needs: build, lint (gofmt + vet), tests,
+#                     and the race detector over the concurrency-bearing
+#                     packages (internal/parallel and internal/core for the
+#                     worker pool and sweeps; internal/sim because every
+#                     sweep worker drives its own engine; internal/netsim,
+#                     internal/cluster and internal/faults for the
+#                     fault-injection availability harness that runs inside
+#                     parallel sweeps).
+#   make lint       — gofmt (must be clean) + go vet.
+#   make bench      — the allocation/latency benchmarks the perf work tracks
+#                     (engine scheduling/cancellation, packet forwarding,
+#                     FFT convolution reuse, DVFS decide, Fig 15 end-to-end).
+#   make bench-json — run the tier-1 benches and snapshot them to
+#                     BENCH_<n>.json (name, ns/op, B/op, allocs/op) so the
+#                     perf trajectory is machine-readable across PRs.
+#   make benchcmp   — run the tier-1 benches twice (-count=$(BENCHCOUNT))
+#                     and print benchstat-style deltas between the two runs
+#                     (a noise-floor check); or compare two recorded runs:
+#                     make benchcmp OLD=old.txt NEW=new.txt
+#   make race       — just the race-detector subset.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build lint vet test race bench
+# The tier-1 benchmark suite tracked across PRs: scheduler hot path,
+# packet pipeline, FFT/DVFS kernels, and the Fig 15 end-to-end sweep.
+BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution|BenchmarkFig15DiurnalSavings'
+BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
+BENCHCOUNT ?= 3
+
+.PHONY: check build lint vet test race bench bench-json benchcmp
 
 check: build lint test race
 
@@ -36,8 +51,24 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/netsim ./internal/cluster ./internal/faults
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults
 
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkEngine|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution' -benchmem \
-		. ./internal/sim ./internal/fft ./internal/dvfs
+	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS)
+
+bench-json:
+	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem -count $(BENCHCOUNT) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson
+
+benchcmp:
+ifdef OLD
+	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
+else
+	@old=$$(mktemp); new=$$(mktemp); \
+	echo "benchcmp: run 1/2 (count=$(BENCHCOUNT))..."; \
+	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem -count $(BENCHCOUNT) $(BENCH_PKGS) > $$old; \
+	echo "benchcmp: run 2/2..."; \
+	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem -count $(BENCHCOUNT) $(BENCH_PKGS) > $$new; \
+	$(GO) run ./cmd/benchcmp $$old $$new; \
+	rm -f $$old $$new
+endif

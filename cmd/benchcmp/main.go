@@ -1,0 +1,104 @@
+// Command benchcmp compares two `go test -bench` output files and prints
+// benchstat-style delta tables for ns/op, B/op and allocs/op — stdlib only,
+// no external benchstat dependency. Repeated samples per benchmark (from
+// -count) are averaged and the max deviation from the mean is shown as the
+// ± column, so noisy comparisons are visible at a glance.
+//
+//	go test -bench . -benchmem -count 5 ./... > old.txt
+//	<make the change>
+//	go test -bench . -benchmem -count 5 ./... > new.txt
+//	go run ./cmd/benchcmp old.txt new.txt
+//
+// `make benchcmp` wires this up: it runs the tier-1 bench suite twice and
+// compares the two runs (a noise-floor check); pass OLD=/NEW= files to
+// compare recorded runs instead.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"eprons/internal/benchparse"
+)
+
+func load(path string) (map[string]benchparse.Summary, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	results, err := benchparse.Parse(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := map[string]benchparse.Summary{}
+	var order []string
+	for _, s := range benchparse.Summarize(results) {
+		byName[s.Name] = s
+		order = append(order, s.Name)
+	}
+	return byName, order, nil
+}
+
+func delta(old, new benchparse.Stat) string {
+	if !old.Known || !new.Known {
+		return "-"
+	}
+	if old.Mean == 0 {
+		if new.Mean == 0 {
+			return "0.00%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.2f%%", (new.Mean-old.Mean)/old.Mean*100)
+}
+
+func section(w *tabwriter.Writer, title string, order []string, olds, news map[string]benchparse.Summary,
+	get func(benchparse.Summary) benchparse.Stat) {
+	fmt.Fprintf(w, "name\told %s\tnew %s\tdelta\n", title, title)
+	printed := false
+	for _, name := range order {
+		o, okO := olds[name]
+		n, okN := news[name]
+		if !okO || !okN {
+			continue
+		}
+		so, sn := get(o), get(n)
+		if !so.Known && !sn.Known {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", name, so, sn, delta(so, sn))
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintln(w, "(no common benchmarks)\t\t\t")
+	}
+	fmt.Fprintln(w, "\t\t\t")
+}
+
+func run() error {
+	if len(os.Args) != 3 {
+		return fmt.Errorf("usage: benchcmp <old.txt> <new.txt>")
+	}
+	olds, order, err := load(os.Args[1])
+	if err != nil {
+		return err
+	}
+	news, _, err := load(os.Args[2])
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	section(w, "ns/op", order, olds, news, func(s benchparse.Summary) benchparse.Stat { return s.NsPerOp })
+	section(w, "B/op", order, olds, news, func(s benchparse.Summary) benchparse.Stat { return s.BytesPerOp })
+	section(w, "allocs/op", order, olds, news, func(s benchparse.Summary) benchparse.Stat { return s.AllocsPerOp })
+	return w.Flush()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

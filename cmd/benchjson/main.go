@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output (read from stdin, or
+// from files given as arguments) into a machine-readable BENCH_<n>.json
+// snapshot so the perf trajectory is comparable across PRs:
+//
+//	make bench-json
+//	go test -run XXX -bench . -benchmem ./... | go run ./cmd/benchjson
+//
+// Repeated samples (-count) are aggregated per benchmark into mean ns/op,
+// B/op and allocs/op. With -out "" (the default) the snapshot is written to
+// BENCH_<n>.json where n is one past the highest existing snapshot index in
+// -dir; pass -out - to write the JSON to stdout instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+
+	"eprons/internal/benchparse"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Date    string  `json:"date"`
+	Results []entry `json:"results"`
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextIndex returns one past the highest BENCH_<n>.json index in dir.
+func nextIndex(dir string) int {
+	max := -1
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+func run() error {
+	out := flag.String("out", "", `output path; "" auto-names BENCH_<n>.json in -dir, "-" writes to stdout`)
+	dir := flag.String("dir", ".", "directory scanned for existing BENCH_<n>.json snapshots")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		var readers []io.Reader
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	results, err := benchparse.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	snap := snapshot{Date: time.Now().UTC().Format("2006-01-02")}
+	for _, s := range benchparse.Summarize(results) {
+		snap.Results = append(snap.Results, entry{
+			Name:        s.Name,
+			Samples:     s.Samples,
+			NsPerOp:     s.NsPerOp.Mean,
+			BytesPerOp:  s.BytesPerOp.Mean,
+			AllocsPerOp: s.AllocsPerOp.Mean,
+		})
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	switch *out {
+	case "-":
+		_, err = os.Stdout.Write(buf)
+		return err
+	case "":
+		*out = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", nextIndex(*dir)))
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(snap.Results))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Package benchparse parses `go test -bench` output into structured
+// results. It is stdlib-only and deliberately small: the repo's perf
+// tooling (cmd/benchjson, cmd/benchcmp) needs names and the three headline
+// numbers (ns/op, B/op, allocs/op) plus any custom b.ReportMetric units,
+// not the full benchstat statistics machinery.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix (sub-benchmark paths are kept).
+	Name string
+	// Iters is the iteration count go test chose.
+	Iters int64
+	// NsPerOp, BytesPerOp and AllocsPerOp are negative when the line did
+	// not report them (B/op and allocs/op need -benchmem).
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	// Metrics holds every other "value unit" pair (b.ReportMetric output),
+	// keyed by unit.
+	Metrics map[string]float64
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads go test -bench output and returns every benchmark line in
+// order. Non-benchmark lines (pass/fail banners, package lines, metrics
+// chatter) are skipped. Repeated names (from -count) produce repeated
+// entries.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo ... --- FAIL" chatter
+		}
+		res := Result{
+			Name:        procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Iters:       iters,
+			NsPerOp:     -1,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		// The remainder is "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "MB/s":
+				// throughput: file under metrics
+				fallthrough
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// Summary is the per-name aggregate over repeated -count samples.
+type Summary struct {
+	Name        string
+	Samples     int
+	NsPerOp     Stat
+	BytesPerOp  Stat
+	AllocsPerOp Stat
+}
+
+// Stat is a mean with spread (max deviation from the mean, as a fraction),
+// the benchstat-style "± x%" column.
+type Stat struct {
+	Mean   float64
+	Spread float64 // max |sample-mean| / mean, 0 when mean == 0
+	Known  bool
+}
+
+func (s Stat) String() string {
+	if !s.Known {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g ±%2.0f%%", s.Mean, s.Spread*100)
+}
+
+// Summarize groups repeated samples by name, preserving first-seen order.
+func Summarize(results []Result) []Summary {
+	order := []string{}
+	byName := map[string][]Result{}
+	for _, r := range results {
+		if _, ok := byName[r.Name]; !ok {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	var out []Summary
+	for _, name := range order {
+		rs := byName[name]
+		s := Summary{Name: name, Samples: len(rs)}
+		s.NsPerOp = stat(rs, func(r Result) float64 { return r.NsPerOp })
+		s.BytesPerOp = stat(rs, func(r Result) float64 { return r.BytesPerOp })
+		s.AllocsPerOp = stat(rs, func(r Result) float64 { return r.AllocsPerOp })
+		out = append(out, s)
+	}
+	return out
+}
+
+func stat(rs []Result, get func(Result) float64) Stat {
+	var sum float64
+	n := 0
+	for _, r := range rs {
+		if v := get(r); v >= 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return Stat{}
+	}
+	mean := sum / float64(n)
+	var spread float64
+	if mean != 0 {
+		for _, r := range rs {
+			if v := get(r); v >= 0 {
+				d := (v - mean) / mean
+				if d < 0 {
+					d = -d
+				}
+				if d > spread {
+					spread = d
+				}
+			}
+		}
+	}
+	return Stat{Mean: mean, Spread: spread, Known: true}
+}

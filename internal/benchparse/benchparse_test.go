@@ -1,0 +1,84 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: eprons/internal/sim
+BenchmarkEngineScheduleRun 	      30	  39374354 ns/op	 2637114 B/op	  100003 allocs/op
+BenchmarkEngineScheduleRun 	      31	  37615212 ns/op	 2610265 B/op	  100003 allocs/op
+BenchmarkEngineAfterChain-8  	86477890	        13.62 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig15DiurnalSavings     	       3	 449542785 ns/op	        15.04 pct-avg-eprons	         3.039 pct-avg-timetrader	        24.59 pct-peak-eprons	230182549 B/op	 3132037 allocs/op
+BenchmarkAblationConvolution/fft 	    5000	    221000 ns/op
+PASS
+ok  	eprons/internal/sim	4.2s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(rs))
+	}
+	if rs[0].Name != "EngineScheduleRun" || rs[0].NsPerOp != 39374354 ||
+		rs[0].BytesPerOp != 2637114 || rs[0].AllocsPerOp != 100003 || rs[0].Iters != 30 {
+		t.Fatalf("bad first result: %+v", rs[0])
+	}
+	if rs[2].Name != "EngineAfterChain" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rs[2].Name)
+	}
+	fig := rs[3]
+	if fig.Metrics["pct-avg-eprons"] != 15.04 || fig.Metrics["pct-peak-eprons"] != 24.59 {
+		t.Fatalf("custom metrics not captured: %+v", fig.Metrics)
+	}
+	sub := rs[4]
+	if sub.Name != "AblationConvolution/fft" {
+		t.Fatalf("sub-benchmark name mangled: %q", sub.Name)
+	}
+	if sub.BytesPerOp != -1 || sub.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns should be -1: %+v", sub)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(rs)
+	if len(sums) != 4 {
+		t.Fatalf("summarized %d names, want 4", len(sums))
+	}
+	s := sums[0]
+	if s.Name != "EngineScheduleRun" || s.Samples != 2 {
+		t.Fatalf("bad summary head: %+v", s)
+	}
+	wantMean := (39374354.0 + 37615212.0) / 2
+	if s.NsPerOp.Mean != wantMean {
+		t.Fatalf("ns/op mean = %g, want %g", s.NsPerOp.Mean, wantMean)
+	}
+	if s.NsPerOp.Spread <= 0 || s.NsPerOp.Spread > 0.05 {
+		t.Fatalf("implausible spread %g", s.NsPerOp.Spread)
+	}
+	if got := sums[3].BytesPerOp; got.Known {
+		t.Fatalf("B/op should be unknown without -benchmem: %+v", got)
+	}
+	if sums[1].NsPerOp.Mean != 13.62 {
+		t.Fatalf("AfterChain mean = %g", sums[1].NsPerOp.Mean)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	rs, err := Parse(strings.NewReader("BenchmarkBroken --- FAIL\nnothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("parsed %d results from garbage, want 0", len(rs))
+	}
+}

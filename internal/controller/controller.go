@@ -77,6 +77,10 @@ type Controller struct {
 	// LastResult is the most recent applied consolidation.
 	LastResult *consolidate.Result
 	running    bool
+	// ratesScratch is the reused flow-rate map for the 2 s stats pull:
+	// FlowRatesInto refills it in place, so the epoch loop stops
+	// allocating a fresh map (plus one entry per flow) every poll.
+	ratesScratch map[flow.ID]float64
 }
 
 // New creates a controller managing the given nominal flow set. The flow
@@ -123,9 +127,9 @@ func (c *Controller) statsTick() {
 	if !c.running {
 		return
 	}
-	rates := c.net.FlowRates(c.Cfg.StatsPeriod)
+	c.ratesScratch = c.net.FlowRatesInto(c.ratesScratch, c.Cfg.StatsPeriod)
 	for _, f := range c.flows {
-		c.predictor.Record(f.ID, rates[f.ID])
+		c.predictor.Record(f.ID, c.ratesScratch[f.ID])
 	}
 	c.net.ResetStats()
 	c.eng.After(c.Cfg.StatsPeriod, c.statsTick)

@@ -62,21 +62,37 @@ type linkState struct {
 	busyUntil float64
 	bytes     int64 // forwarded bytes since the last stats reset
 
-	// priority mode state
-	busy bool
-	hiQ  []pqPacket
-	loQ  []pqPacket
+	// Priority mode state: two-class queues of pooled packets, indexed by
+	// a head cursor so dequeues reuse the backing arrays instead of
+	// slicing them away (zero steady-state allocation). inService is the
+	// packet currently transmitting; onTxDone is the one transmission-
+	// complete callback for this direction, bound lazily on first use so
+	// FIFO-mode runs never pay for it.
+	busy      bool
+	hiQ       []*packet
+	loQ       []*packet
+	hiHead    int
+	loHead    int
+	inService *packet
+	onTxDone  func()
 }
 
-// pqPacket is a queued packet awaiting service in priority mode.
-type pqPacket struct {
-	fid     flow.ID
-	bytes   int
-	path    topology.Path
-	hop     int
-	hi      bool
-	done    func()
-	dropped func()
+// packet is one in-flight MTU-or-smaller unit moving hop by hop along its
+// path. Packets are pooled on the Network: each carries a prebound step
+// closure (allocated once, when the packet object is first created) that
+// re-enters the forwarder at packet.hop, so per-hop forwarding schedules an
+// existing func value instead of allocating a fresh capturing closure per
+// hop. msg is nil for background packets, which have no delivery
+// accounting.
+type packet struct {
+	n     *Network
+	fid   flow.ID
+	path  topology.Path
+	bytes int
+	hop   int
+	hi    bool
+	msg   *message
+	step  func()
 }
 
 // Network couples a topology with an event engine and carries traffic.
@@ -99,6 +115,13 @@ type Network struct {
 	// highPrio marks flows served from the high-priority class when
 	// Cfg.PriorityQueueing is on.
 	highPrio map[flow.ID]bool
+
+	// pktFree and msgFree pool the per-packet and per-message structs of
+	// the forwarding pipeline. Both are bounded by the in-flight high-water
+	// mark; in steady state SendMessage allocates nothing but whatever the
+	// caller's own callbacks capture.
+	pktFree []*packet
+	msgFree []*message
 
 	// Dropped counts packets that hit an inactive element (a transient
 	// during reconfiguration; steady-state experiments keep it at zero)
@@ -198,11 +221,59 @@ func (n *Network) InstallRoutes(paths map[flow.ID]topology.Path) error {
 // message tracks the delivery state of one multi-packet message so that
 // drop and delivery semantics are message-level: a message is delivered
 // only when every one of its packets arrives, and dropped at most once no
-// matter how many of its packets drop.
+// matter how many of its packets drop. Messages are pooled on the Network:
+// inflight counts packets that have not yet terminated (arrived or
+// dropped), and the struct returns to the pool when it reaches zero.
 type message struct {
-	packets int
-	arrived int
-	dropped bool
+	packets     int
+	arrived     int
+	inflight    int
+	dropped     bool
+	start       float64
+	onDelivered func(latency float64)
+	onDropped   func()
+}
+
+// acquireMessage pops a pooled message (or allocates the pool's next one).
+func (n *Network) acquireMessage() *message {
+	if k := len(n.msgFree); k > 0 {
+		m := n.msgFree[k-1]
+		n.msgFree[k-1] = nil
+		n.msgFree = n.msgFree[:k-1]
+		return m
+	}
+	return &message{}
+}
+
+// releaseMessage returns a completed message to the pool, dropping the
+// caller callbacks so captured state is released immediately.
+func (n *Network) releaseMessage(m *message) {
+	*m = message{}
+	n.msgFree = append(n.msgFree, m)
+}
+
+// acquirePacket pops a pooled packet. A packet allocated for the first time
+// gets its step closure bound here — the only closure in the packet's
+// lifetime, reused across every hop of every flight the pooled object ever
+// makes.
+func (n *Network) acquirePacket() *packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	p := &packet{n: n}
+	p.step = func() { p.n.stepPacket(p) }
+	return p
+}
+
+// releasePacket returns a terminated packet to the pool, dropping the path
+// and message references (the step closure stays bound).
+func (n *Network) releasePacket(p *packet) {
+	p.path = nil
+	p.msg = nil
+	n.pktFree = append(n.pktFree, p)
 }
 
 // SendMessage transmits size bytes along the route of fid and calls
@@ -223,33 +294,18 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 		}
 		return
 	}
-	start := n.eng.Now()
 	packets := (size + n.Cfg.PacketBytes - 1) / n.Cfg.PacketBytes
 	if packets == 0 {
 		packets = 1
 	}
-	m := &message{packets: packets}
-	// One shared pair of callbacks for every packet of the message: the
-	// message struct, not the packet index, decides delivery.
-	done := func() {
-		if m.dropped {
-			return
-		}
-		m.arrived++
-		if m.arrived == m.packets && onDelivered != nil {
-			onDelivered(n.eng.Now() - start)
-		}
-	}
-	dropped := func() {
-		if m.dropped {
-			return
-		}
-		m.dropped = true
-		n.MsgDropped++
-		if onDropped != nil {
-			onDropped()
-		}
-	}
+	m := n.acquireMessage()
+	m.packets = packets
+	m.inflight = packets
+	m.start = n.eng.Now()
+	m.onDelivered = onDelivered
+	m.onDropped = onDropped
+	// One shared message struct for every packet of the flight: the
+	// message, not the packet index, decides delivery.
 	hi := n.highPrio[fid]
 	remaining := size
 	for i := 0; i < packets; i++ {
@@ -258,26 +314,68 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 			pkt = remaining
 		}
 		remaining -= pkt
-		n.send(fid, p, pkt, hi, done, dropped)
+		n.launch(fid, p, pkt, hi, m)
 	}
 }
 
-// send dispatches one packet onto hop 0 with the flow's priority class.
-func (n *Network) send(fid flow.ID, p topology.Path, bytes int, hi bool, done func(), dropped func()) {
+// launch dispatches one packet onto hop 0 of path p. Hop 0 is processed
+// synchronously (enqueue onto the first link happens at the send instant);
+// later hops arrive via the packet's prebound step event.
+func (n *Network) launch(fid flow.ID, p topology.Path, bytes int, hi bool, m *message) {
+	pk := n.acquirePacket()
+	pk.fid = fid
+	pk.path = p
+	pk.bytes = bytes
+	pk.hop = 0
+	pk.hi = hi
+	pk.msg = m
+	n.stepPacket(pk)
+}
+
+// finishPacket terminates a packet (arrived at its destination host, or
+// dropped en route), returns it to the pool, and applies the message-level
+// delivery/drop semantics: delivered only when all packets arrive,
+// dropped exactly once no matter how many packets drop.
+func (n *Network) finishPacket(pk *packet, delivered bool) {
+	m := pk.msg
+	n.releasePacket(pk)
+	if m == nil {
+		return // background packet: no message accounting
+	}
+	if delivered {
+		if !m.dropped {
+			m.arrived++
+			if m.arrived == m.packets && m.onDelivered != nil {
+				m.onDelivered(n.eng.Now() - m.start)
+			}
+		}
+	} else if !m.dropped {
+		m.dropped = true
+		n.MsgDropped++
+		if m.onDropped != nil {
+			m.onDropped()
+		}
+	}
+	m.inflight--
+	if m.inflight == 0 {
+		n.releaseMessage(m)
+	}
+}
+
+// stepPacket is the single arrival entry point for both queueing modes: the
+// packet has just reached pk.path[pk.hop] and either terminates there or is
+// enqueued onto the next link.
+func (n *Network) stepPacket(pk *packet) {
 	if n.Cfg.PriorityQueueing {
-		n.forwardPQ(fid, p, 0, bytes, hi, done, dropped)
+		n.stepPQ(pk)
 		return
 	}
-	n.forward(fid, p, 0, bytes, done, dropped)
-}
-
-// forward recursively sends one packet across hop h of path p.
-func (n *Network) forward(fid flow.ID, p topology.Path, hop, bytes int, done func(), dropped func()) {
-	if hop >= len(p)-1 {
-		done()
+	hop := pk.hop
+	if hop >= len(pk.path)-1 {
+		n.finishPacket(pk, true)
 		return
 	}
-	from, to := p[hop], p[hop+1]
+	from, to := pk.path[hop], pk.path[hop+1]
 	lid, ok := n.g.FindLink(from, to)
 	if !ok {
 		panic("netsim: route hop without link (route validated at install)")
@@ -285,9 +383,7 @@ func (n *Network) forward(fid flow.ID, p topology.Path, hop, bytes int, done fun
 	l := n.g.Link(lid)
 	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
 		n.Dropped++
-		if dropped != nil {
-			dropped()
-		}
+		n.finishPacket(pk, false)
 		return
 	}
 	ls := &n.links[l.DirIndex(from)]
@@ -299,12 +395,10 @@ func (n *Network) forward(fid flow.ID, p topology.Path, hop, bytes int, done fun
 	if n.Cfg.QueueLimitBytes > 0 {
 		// Backlog in bytes implied by the time the queue needs to drain.
 		backlog := (startTx - now) * l.CapacityBps / 8
-		if int(backlog)+bytes > n.Cfg.QueueLimitBytes {
+		if int(backlog)+pk.bytes > n.Cfg.QueueLimitBytes {
 			n.Dropped++
 			n.TailDrops++
-			if dropped != nil {
-				dropped()
-			}
+			n.finishPacket(pk, false)
 			return
 		}
 	}
@@ -312,15 +406,14 @@ func (n *Network) forward(fid flow.ID, p topology.Path, hop, bytes int, done fun
 		// Carried-byte accounting: the flow counter the controller polls
 		// counts bytes accepted onto the first hop, not offered bytes — a
 		// packet rejected at hop 0 never reaches any switch counter.
-		n.flowBytes[fid] += int64(bytes)
+		n.flowBytes[pk.fid] += int64(pk.bytes)
 	}
-	txTime := float64(bytes) * 8 / l.CapacityBps
+	txTime := float64(pk.bytes) * 8 / l.CapacityBps
 	depart := startTx + txTime
 	ls.busyUntil = depart
-	ls.bytes += int64(bytes)
-	n.eng.Schedule(depart+n.Cfg.HopDelay, func() {
-		n.forward(fid, p, hop+1, bytes, done, dropped)
-	})
+	ls.bytes += int64(pk.bytes)
+	pk.hop = hop + 1
+	n.eng.Schedule(depart+n.Cfg.HopDelay, pk.step)
 }
 
 // Background is a handle on a running background packet source.
@@ -338,38 +431,61 @@ func (b *Background) Stop() { b.stop = true }
 func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.Stream) *Background {
 	b := &Background{}
 	bits := float64(n.Cfg.PacketBytes) * 8
-	var tick func()
-	tick = func() {
+	// Exactly two closures for the lifetime of the source (arm draws the
+	// next arrival, fire emits a packet); every packet reuses them, so the
+	// steady-state source allocates nothing.
+	var arm, fire func()
+	arm = func() {
 		if b.stop {
 			return
 		}
 		r := rate()
 		if r <= 0 {
-			n.eng.After(10e-3, tick)
+			n.eng.After(10e-3, arm)
 			return
 		}
-		interval := stream.Exp(bits / r)
-		n.eng.After(interval, func() {
-			if b.stop {
-				return
-			}
-			if p, ok := n.routes[fid]; ok {
-				// flowBytes accounting happens at hop-0 acceptance
-				// inside the forwarders, so dropped-at-ingress packets
-				// are not mistaken for carried traffic.
-				n.send(fid, p, n.Cfg.PacketBytes, n.highPrio[fid], func() {}, nil)
-			}
-			tick()
-		})
+		n.eng.After(stream.Exp(bits/r), fire)
 	}
-	tick()
+	fire = func() {
+		if b.stop {
+			return
+		}
+		if p, ok := n.routes[fid]; ok {
+			// flowBytes accounting happens at hop-0 acceptance inside the
+			// forwarders, so dropped-at-ingress packets are not mistaken
+			// for carried traffic. Background packets carry no message
+			// (msg == nil): no delivery accounting.
+			pk := n.acquirePacket()
+			pk.fid = fid
+			pk.path = p
+			pk.bytes = n.Cfg.PacketBytes
+			pk.hop = 0
+			pk.hi = n.highPrio[fid]
+			pk.msg = nil
+			n.stepPacket(pk)
+		}
+		arm()
+	}
+	arm()
 	return b
 }
 
 // LinkBytes returns forwarded bytes per directed link since the last
-// ResetStats, keyed by link ID with both directions summed.
+// ResetStats, keyed by link ID with both directions summed. It allocates a
+// fresh map; periodic pollers should use LinkBytesInto with a scratch map.
 func (n *Network) LinkBytes() map[topology.LinkID]int64 {
-	out := make(map[topology.LinkID]int64)
+	return n.LinkBytesInto(nil)
+}
+
+// LinkBytesInto is the reuse variant of LinkBytes: out is cleared and
+// refilled (a nil out allocates one). The controller's 2 s stats pull calls
+// this every epoch; with a retained scratch map the poll allocates nothing.
+func (n *Network) LinkBytesInto(out map[topology.LinkID]int64) map[topology.LinkID]int64 {
+	if out == nil {
+		out = make(map[topology.LinkID]int64)
+	} else {
+		clear(out)
+	}
 	for i := range n.links {
 		if n.links[i].bytes != 0 {
 			out[topology.LinkID(i/2)] += n.links[i].bytes
@@ -380,9 +496,20 @@ func (n *Network) LinkBytes() map[topology.LinkID]int64 {
 
 // LinkUtilization returns per-link utilization over the window seconds
 // since the last ResetStats, using the busier direction (utilization is
-// per-direction in a full-duplex link).
+// per-direction in a full-duplex link). It allocates a fresh map; periodic
+// pollers should use LinkUtilizationInto with a scratch map.
 func (n *Network) LinkUtilization(window float64) map[topology.LinkID]float64 {
-	out := make(map[topology.LinkID]float64)
+	return n.LinkUtilizationInto(nil, window)
+}
+
+// LinkUtilizationInto is the reuse variant of LinkUtilization: out is
+// cleared and refilled (a nil out allocates one).
+func (n *Network) LinkUtilizationInto(out map[topology.LinkID]float64, window float64) map[topology.LinkID]float64 {
+	if out == nil {
+		out = make(map[topology.LinkID]float64)
+	} else {
+		clear(out)
+	}
 	if window <= 0 {
 		return out
 	}
@@ -401,9 +528,20 @@ func (n *Network) LinkUtilization(window float64) map[topology.LinkID]float64 {
 }
 
 // FlowRates returns per-flow offered rates in bits per second over the
-// window seconds since the last ResetStats.
+// window seconds since the last ResetStats. It allocates a fresh map;
+// periodic pollers should use FlowRatesInto with a scratch map.
 func (n *Network) FlowRates(window float64) map[flow.ID]float64 {
-	out := make(map[flow.ID]float64)
+	return n.FlowRatesInto(nil, window)
+}
+
+// FlowRatesInto is the reuse variant of FlowRates: out is cleared and
+// refilled (a nil out allocates one).
+func (n *Network) FlowRatesInto(out map[flow.ID]float64, window float64) map[flow.ID]float64 {
+	if out == nil {
+		out = make(map[flow.ID]float64)
+	} else {
+		clear(out)
+	}
 	if window <= 0 {
 		return out
 	}
@@ -419,20 +557,19 @@ func (n *Network) ResetStats() {
 	for i := range n.links {
 		n.links[i].bytes = 0
 	}
-	for id := range n.flowBytes {
-		delete(n.flowBytes, id)
-	}
+	clear(n.flowBytes)
 }
 
-// forwardPQ is the priority-mode hop forwarder: packets enter a two-class
+// stepPQ is the priority-mode hop forwarder: packets enter a two-class
 // queue per link direction; a free link serves the high class first,
 // without preempting the packet in service.
-func (n *Network) forwardPQ(fid flow.ID, p topology.Path, hop, bytes int, hi bool, done func(), dropped func()) {
-	if hop >= len(p)-1 {
-		done()
+func (n *Network) stepPQ(pk *packet) {
+	hop := pk.hop
+	if hop >= len(pk.path)-1 {
+		n.finishPacket(pk, true)
 		return
 	}
-	from, to := p[hop], p[hop+1]
+	from, to := pk.path[hop], pk.path[hop+1]
 	lid, ok := n.g.FindLink(from, to)
 	if !ok {
 		panic("netsim: route hop without link (route validated at install)")
@@ -440,56 +577,80 @@ func (n *Network) forwardPQ(fid flow.ID, p topology.Path, hop, bytes int, hi boo
 	l := n.g.Link(lid)
 	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
 		n.Dropped++
-		if dropped != nil {
-			dropped()
-		}
+		n.finishPacket(pk, false)
 		return
 	}
-	ls := &n.links[l.DirIndex(from)]
+	di := l.DirIndex(from)
+	ls := &n.links[di]
 	if hop == 0 {
 		// Mirror the FIFO forwarder: flow counters tick at hop-0
 		// acceptance.
-		n.flowBytes[fid] += int64(bytes)
+		n.flowBytes[pk.fid] += int64(pk.bytes)
 	}
 	// Carried-byte accounting at enqueue, matching FIFO mode: a packet
 	// accepted into a priority queue is committed to this link, and
 	// counting it at service time instead would skew the controller's
 	// per-window utilization view between the two modes (the QoS
 	// ablation compares them).
-	ls.bytes += int64(bytes)
-	pkt := pqPacket{fid: fid, bytes: bytes, path: p, hop: hop, hi: hi, done: done, dropped: dropped}
-	if hi {
-		ls.hiQ = append(ls.hiQ, pkt)
+	ls.bytes += int64(pk.bytes)
+	if pk.hi {
+		ls.hiQ = append(ls.hiQ, pk)
 	} else {
-		ls.loQ = append(ls.loQ, pkt)
+		ls.loQ = append(ls.loQ, pk)
 	}
 	if !ls.busy {
-		n.servePQ(ls, l)
+		n.servePQ(di)
 	}
 }
 
-// servePQ transmits the next queued packet on a link direction.
-func (n *Network) servePQ(ls *linkState, l topology.Link) {
-	var pkt pqPacket
+// servePQ transmits the next queued packet on link direction di. Dequeues
+// advance a head cursor and reset it when the queue drains, so the backing
+// arrays are reused across the run.
+func (n *Network) servePQ(di int) {
+	ls := &n.links[di]
+	var pk *packet
 	switch {
-	case len(ls.hiQ) > 0:
-		pkt = ls.hiQ[0]
-		ls.hiQ = ls.hiQ[1:]
-	case len(ls.loQ) > 0:
-		pkt = ls.loQ[0]
-		ls.loQ = ls.loQ[1:]
+	case ls.hiHead < len(ls.hiQ):
+		pk = ls.hiQ[ls.hiHead]
+		ls.hiQ[ls.hiHead] = nil
+		ls.hiHead++
+		if ls.hiHead == len(ls.hiQ) {
+			ls.hiQ = ls.hiQ[:0]
+			ls.hiHead = 0
+		}
+	case ls.loHead < len(ls.loQ):
+		pk = ls.loQ[ls.loHead]
+		ls.loQ[ls.loHead] = nil
+		ls.loHead++
+		if ls.loHead == len(ls.loQ) {
+			ls.loQ = ls.loQ[:0]
+			ls.loHead = 0
+		}
 	default:
 		ls.busy = false
 		return
 	}
 	ls.busy = true
-	tx := float64(pkt.bytes) * 8 / l.CapacityBps
-	n.eng.After(tx, func() {
-		// Hand the packet to the next hop after the fixed hop delay,
-		// then serve whatever is queued here.
-		n.eng.After(n.Cfg.HopDelay, func() {
-			n.forwardPQ(pkt.fid, pkt.path, pkt.hop+1, pkt.bytes, pkt.hi, pkt.done, pkt.dropped)
-		})
-		n.servePQ(ls, l)
-	})
+	ls.inService = pk
+	if ls.onTxDone == nil {
+		d := di
+		ls.onTxDone = func() { n.pqTxDone(d) }
+	}
+	l := n.g.Link(topology.LinkID(di / 2))
+	tx := float64(pk.bytes) * 8 / l.CapacityBps
+	n.eng.After(tx, ls.onTxDone)
+}
+
+// pqTxDone fires when the in-service packet's last bit leaves link
+// direction di: hand the packet to the next hop after the fixed hop delay,
+// then serve whatever is queued here. (The hop-delay event is scheduled
+// before the next service starts, preserving the event order — and thus the
+// bit-exact trajectory — of the pre-pool implementation.)
+func (n *Network) pqTxDone(di int) {
+	ls := &n.links[di]
+	pk := ls.inService
+	ls.inService = nil
+	pk.hop++
+	n.eng.After(n.Cfg.HopDelay, pk.step)
+	n.servePQ(di)
 }

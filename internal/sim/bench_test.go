@@ -29,6 +29,34 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkEngineCancelHeavy measures the timeout pattern: nearly every
+// scheduled event is cancelled before it fires (the cluster arms a timeout
+// per sub-query and disarms it on reply). Cancellation cost — not pop cost —
+// dominates here.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	const events = 100_000
+	e := New()
+	sink := 0
+	ids := make([]EventID, 0, events)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		ids = ids[:0]
+		for j := 0; j < events; j++ {
+			id := e.Schedule(base+float64(j%97)*1e-6, func() { sink++ })
+			ids = append(ids, id)
+		}
+		for j, id := range ids {
+			if j%10 != 0 { // cancel 90%
+				e.Cancel(id)
+			}
+		}
+		e.RunAll()
+	}
+	_ = sink
+}
+
 // BenchmarkEngineAfterChain measures the self-rescheduling pattern every
 // arrival process in the repo uses: one live event that re-arms itself.
 func BenchmarkEngineAfterChain(b *testing.B) {

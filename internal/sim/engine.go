@@ -3,119 +3,125 @@
 // runner. Time is a float64 measured in seconds. Events scheduled for the
 // same instant fire in scheduling order, which keeps runs deterministic for
 // a fixed seed.
+//
+// # Scheduler internals
+//
+// The engine is built for the simulator's dominant workload: millions of
+// short-lived "schedule at now+delta, fire once, never cancelled" events,
+// with a minority of timeout-style events that are cancelled before firing.
+//
+//   - Events live in a slot arena ([]event) recycled through a free list,
+//     so steady-state scheduling allocates nothing.
+//   - The priority queue is a concrete 4-ary array heap of small inline
+//     entries (time, seq, slot) ordered by (time, seq) — no interfaces, no
+//     container/heap boxing, and a shallower tree than a binary heap. The
+//     (time, seq) order is a strict total order (seq is unique), so pop
+//     order is independent of heap arity: this is the pop-order contract
+//     that keeps figure outputs bit-identical across scheduler rewrites.
+//   - EventID encodes (slot, generation) directly; Cancel resolves the
+//     handle with two array reads and no map. Each slot's generation bumps
+//     on every release, so stale IDs (already fired, already cancelled, or
+//     belonging to a previous occupant of a recycled slot) never match.
+//   - Cancellation is lazy: the heap entry stays put and is discarded when
+//     popped. Only cancel-heavy workloads pay for it, and they pay O(1) per
+//     cancel instead of a map write per schedule.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// EventID identifies a scheduled event so that it can be cancelled.
+// EventID identifies a scheduled event so that it can be cancelled. It
+// packs the event's arena slot in the low 32 bits and the slot's generation
+// in the high 32 bits; 0 is never a valid ID (generations start at 1).
 type EventID int64
 
-// event is a heap entry. Cancellation is lazy: cancelled entries stay in the
-// heap but are skipped when popped.
+// Event slot states. A slot is free (on the free list), live (scheduled),
+// or cancelled (awaiting lazy removal when its heap entry is popped).
+const (
+	stateFree uint8 = iota
+	stateLive
+	stateCancelled
+)
+
+// event is one arena slot. The scheduling key (time, seq) is duplicated in
+// the heap entry so comparisons never chase the arena; the slot holds the
+// callback and the handle-validation state.
 type event struct {
-	time      float64
-	seq       int64
-	fn        func()
-	cancelled bool
-	index     int
+	fn    func()
+	gen   uint32
+	state uint8
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// heapEntry is one 4-ary heap element: the full ordering key plus the arena
+// slot it resolves to. Keeping the key inline makes sift comparisons a
+// straight array scan with no indirection.
+type heapEntry struct {
+	time float64
+	seq  int64
+	slot int32
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use with the clock at t=0.
 type Engine struct {
-	heap    eventHeap
+	heap   []heapEntry
+	events []event
+	// free recycles arena slots. Its length is bounded by the high-water
+	// mark of the queue depth.
+	free    []int32
 	now     float64
 	seq     int64
-	pending map[EventID]*event
+	live    int
 	stopped bool
-	// free recycles popped heap entries: long simulations schedule millions
-	// of transient events, and reusing the structs keeps the hot
-	// Schedule/Run loop allocation-free once the pool matches the peak
-	// queue depth. Its length is bounded by the high-water mark of the
-	// heap.
-	free []*event
 	// Processed counts events executed so far (skipping cancelled ones).
 	Processed int64
 }
 
 // New returns an engine with the clock at t=0.
-func New() *Engine {
-	return &Engine{pending: make(map[EventID]*event)}
-}
+func New() *Engine { return &Engine{} }
 
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Len returns the number of scheduled (possibly cancelled) events.
-func (e *Engine) Len() int { return len(e.heap) }
+// Len returns the exact number of live scheduled events. Lazily-cancelled
+// entries still sitting in the heap do not count.
+func (e *Engine) Len() int { return e.live }
+
+// less orders heap entries by (time, seq): earlier time first, scheduling
+// order among ties. seq is unique, so this is a strict total order.
+func less(a, b heapEntry) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a modelling bug, and silently reordering time
 // would corrupt every downstream measurement.
+//
+// The dominant "at = now+delta, never cancelled" case costs one free-list
+// pop, one heap append and a sift-up that usually terminates after a single
+// comparison — no map writes and, once the arena matches the peak queue
+// depth, no allocations.
 func (e *Engine) Schedule(at float64, fn func()) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
 	}
-	if e.pending == nil {
-		e.pending = make(map[EventID]*event)
-	}
 	e.seq++
-	var ev *event
+	var slot int32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
+		slot = e.free[n-1]
 		e.free = e.free[:n-1]
-		*ev = event{time: at, seq: e.seq, fn: fn}
 	} else {
-		ev = &event{time: at, seq: e.seq, fn: fn}
+		e.events = append(e.events, event{gen: 1})
+		slot = int32(len(e.events) - 1)
 	}
-	heap.Push(&e.heap, ev)
-	id := EventID(e.seq)
-	e.pending[id] = ev
-	return id
-}
-
-// recycle returns a popped entry to the free list, dropping the closure so
-// captured state is released immediately.
-func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
-	e.free = append(e.free, ev)
+	ev := &e.events[slot]
+	ev.fn = fn
+	ev.state = stateLive
+	e.live++
+	e.siftUp(heapEntry{time: at, seq: e.seq, slot: slot})
+	return EventID(int64(ev.gen)<<32 | int64(slot))
 }
 
 // After registers fn to run d seconds from now.
@@ -124,15 +130,35 @@ func (e *Engine) After(d float64, fn func()) EventID {
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op and returns false.
+// or was already cancelled is a no-op and returns false — even if the
+// event's arena slot has since been recycled for a newer event, because the
+// generation stamped into the ID no longer matches the slot's.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.pending[id]
-	if !ok {
+	slot := int64(id) & 0xffffffff
+	gen := uint32(uint64(id) >> 32)
+	if slot >= int64(len(e.events)) {
 		return false
 	}
-	ev.cancelled = true
-	delete(e.pending, id)
+	ev := &e.events[slot]
+	if ev.gen != gen || ev.state != stateLive {
+		return false
+	}
+	// Lazy removal: mark the slot and drop the callback now (releasing
+	// captured state immediately); the heap entry is discarded at pop.
+	ev.state = stateCancelled
+	ev.fn = nil
+	e.live--
 	return true
+}
+
+// release returns an arena slot to the free list and invalidates every
+// outstanding EventID that pointed at it.
+func (e *Engine) release(slot int32) {
+	ev := &e.events[slot]
+	ev.fn = nil
+	ev.gen++
+	ev.state = stateFree
+	e.free = append(e.free, slot)
 }
 
 // Stop makes the current Run return after the in-flight event completes.
@@ -144,20 +170,21 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until float64) {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		next := e.heap[0]
-		if next.time > until {
+		top := e.heap[0]
+		if top.time > until {
 			break
 		}
-		heap.Pop(&e.heap)
-		if next.cancelled {
-			e.recycle(next)
+		e.popRoot()
+		ev := &e.events[top.slot]
+		if ev.state == stateCancelled {
+			e.release(top.slot)
 			continue
 		}
-		delete(e.pending, EventID(next.seq))
-		e.now = next.time
+		fn := ev.fn
+		e.release(top.slot) // fn may Schedule and reuse the slot
+		e.live--
+		e.now = top.time
 		e.Processed++
-		fn := next.fn
-		e.recycle(next) // fn may Schedule and reuse the entry
 		fn()
 	}
 	if !e.stopped && e.now < until {
@@ -170,16 +197,69 @@ func (e *Engine) Run(until float64) {
 func (e *Engine) RunAll() {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		next := heap.Pop(&e.heap).(*event)
-		if next.cancelled {
-			e.recycle(next)
+		top := e.heap[0]
+		e.popRoot()
+		ev := &e.events[top.slot]
+		if ev.state == stateCancelled {
+			e.release(top.slot)
 			continue
 		}
-		delete(e.pending, EventID(next.seq))
-		e.now = next.time
+		fn := ev.fn
+		e.release(top.slot) // fn may Schedule and reuse the slot
+		e.live--
+		e.now = top.time
 		e.Processed++
-		fn := next.fn
-		e.recycle(next) // fn may Schedule and reuse the entry
 		fn()
 	}
+}
+
+// siftUp appends entry at the bottom of the 4-ary heap and bubbles it up.
+// An entry scheduled later than everything on its root path — the common
+// now+delta case — exits after the first comparison.
+func (e *Engine) siftUp(entry heapEntry) {
+	i := len(e.heap)
+	e.heap = append(e.heap, entry)
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !less(entry, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		i = parent
+	}
+	e.heap[i] = entry
+}
+
+// popRoot removes the minimum entry, moving the last leaf to the root and
+// sifting it down. Children of i are 4i+1 .. 4i+4.
+func (e *Engine) popRoot() {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if less(e.heap[j], e.heap[min]) {
+				min = j
+			}
+		}
+		if !less(e.heap[min], last) {
+			break
+		}
+		e.heap[i] = e.heap[min]
+		i = min
+	}
+	e.heap[i] = last
 }

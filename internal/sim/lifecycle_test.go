@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLenExcludesCancelled pins the exact live-event count: lazily
+// cancelled entries still sitting in the heap must not be reported as
+// scheduled (the pre-overhaul Len counted them until popped).
+func TestLenExcludesCancelled(t *testing.T) {
+	e := New()
+	var ids []EventID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, e.Schedule(float64(i+1), func() {}))
+	}
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d after 10 schedules, want 10", e.Len())
+	}
+	for _, id := range ids[:3] {
+		if !e.Cancel(id) {
+			t.Fatal("cancel of live event failed")
+		}
+	}
+	if e.Len() != 7 {
+		t.Fatalf("Len = %d after cancelling 3 of 10, want 7", e.Len())
+	}
+	e.Run(5) // fires events at t=4,5 (1..3 cancelled)
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d after running to t=5, want 5", e.Len())
+	}
+	e.RunAll()
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after RunAll, want 0", e.Len())
+	}
+	// Cancelled-then-recycled slots must not resurrect the count.
+	id := e.Schedule(100, func() {})
+	e.Cancel(id)
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d after schedule+cancel, want 0", e.Len())
+	}
+}
+
+// TestCancelStaleIDAfterRecycle pins the generation-stamp contract: a
+// handle for a fired or cancelled event must stay dead forever, even after
+// its arena slot is recycled for a new event — cancelling the stale handle
+// must never kill the slot's new occupant.
+func TestCancelStaleIDAfterRecycle(t *testing.T) {
+	e := New()
+	old := e.Schedule(1, func() {})
+	e.RunAll() // fires; slot freed
+	if e.Cancel(old) {
+		t.Fatal("cancel of fired event succeeded")
+	}
+	// Recycle the slot with a new event.
+	fired := false
+	fresh := e.Schedule(2, func() { fired = true })
+	if fresh == old {
+		t.Fatalf("recycled slot reissued the same EventID %d", old)
+	}
+	if e.Cancel(old) {
+		t.Fatal("stale handle cancelled the recycled slot's new occupant")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("new occupant of recycled slot did not fire")
+	}
+
+	// Same via the cancel path: cancel frees lazily, pop recycles.
+	victim := e.Schedule(3, func() {})
+	if !e.Cancel(victim) {
+		t.Fatal("first cancel failed")
+	}
+	if e.Cancel(victim) {
+		t.Fatal("double cancel succeeded")
+	}
+	e.RunAll() // pops the cancelled entry, releasing the slot
+	fired = false
+	fresh2 := e.Schedule(4, func() { fired = true })
+	if e.Cancel(victim) {
+		t.Fatal("stale cancelled handle killed a recycled slot's occupant")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("occupant after cancelled predecessor did not fire")
+	}
+	_ = fresh2
+}
+
+// TestCancelNeverValidatesForeignIDs: IDs that were never issued (garbage
+// slots, garbage generations) must be rejected.
+func TestCancelNeverValidatesForeignIDs(t *testing.T) {
+	e := New()
+	id := e.Schedule(1, func() {})
+	for _, bogus := range []EventID{0, -1, id + 1<<32, id ^ (1 << 40), 1 << 60, EventID(int64(1) << 32)} {
+		if bogus == id {
+			continue
+		}
+		if e.Cancel(bogus) {
+			t.Fatalf("bogus ID %d cancelled something", bogus)
+		}
+	}
+	if !e.Cancel(id) {
+		t.Fatal("legitimate ID rejected after bogus probes")
+	}
+}
+
+// TestEventIDLifecycleFuzz interleaves Schedule/Cancel/Run with heavy slot
+// recycling and double/stale cancels, tracking expected behavior with a
+// model map: every live event fires exactly once, every cancelled event
+// never fires, and stale cancels return false.
+func TestEventIDLifecycleFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		type rec struct {
+			id        EventID
+			fired     *bool
+			cancelled bool
+			done      bool // popped (fired or lazily discarded)
+		}
+		var recs []*rec
+		live := 0
+		for op := 0; op < 600; op++ {
+			switch k := r.Intn(10); {
+			case k < 5:
+				f := new(bool)
+				rc := &rec{fired: f}
+				rc.id = e.Schedule(e.Now()+float64(r.Intn(5))*0.125, func() { *f = true })
+				recs = append(recs, rc)
+				live++
+			case k < 8:
+				if len(recs) == 0 {
+					continue
+				}
+				rc := recs[r.Intn(len(recs))]
+				got := e.Cancel(rc.id)
+				want := !rc.cancelled && !*rc.fired
+				if got != want {
+					t.Fatalf("seed %d op %d: Cancel = %v, want %v (cancelled=%v fired=%v)",
+						seed, op, got, want, rc.cancelled, *rc.fired)
+				}
+				if got {
+					rc.cancelled = true
+					live--
+				}
+			default:
+				e.Run(e.Now() + float64(r.Intn(3))*0.25)
+				// Recount live from the model.
+				live = 0
+				for _, rc := range recs {
+					if !rc.cancelled && !*rc.fired {
+						live++
+					}
+				}
+				if e.Len() != live {
+					t.Fatalf("seed %d op %d: Len = %d, model says %d", seed, op, e.Len(), live)
+				}
+			}
+		}
+		e.RunAll()
+		for i, rc := range recs {
+			if rc.cancelled && *rc.fired {
+				t.Fatalf("seed %d: event %d fired after successful cancel", seed, i)
+			}
+			if !rc.cancelled && !*rc.fired {
+				t.Fatalf("seed %d: live event %d never fired", seed, i)
+			}
+		}
+		if e.Len() != 0 {
+			t.Fatalf("seed %d: Len = %d after RunAll", seed, e.Len())
+		}
+	}
+}
