@@ -7,7 +7,9 @@
 #                     sweep worker drives its own engine; internal/netsim,
 #                     internal/cluster and internal/faults for the
 #                     fault-injection availability harness that runs inside
-#                     parallel sweeps).
+#                     parallel sweeps; internal/controller, internal/workload
+#                     and internal/experiments for the overload control
+#                     plane and its parallel sweeps).
 #   make lint       — gofmt (must be clean) + go vet.
 #   make bench      — the allocation/latency benchmarks the perf work tracks
 #                     (engine scheduling/cancellation, packet forwarding,
@@ -20,8 +22,12 @@
 #                     (a noise-floor check); or compare two recorded runs:
 #                     make benchcmp OLD=old.txt NEW=new.txt
 #   make race       — just the race-detector subset.
+#   make fuzz-short — a bounded run of the native fuzz targets (surge
+#                     multiplier safety, admission hysteresis invariants);
+#                     FUZZTIME=30s lengthens each target's budget.
 
 GO ?= go
+FUZZTIME ?= 10s
 GOFMT ?= gofmt
 
 # The tier-1 benchmark suite tracked across PRs: scheduler hot path,
@@ -30,7 +36,7 @@ BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkFFT|BenchmarkDV
 BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
 BENCHCOUNT ?= 3
 
-.PHONY: check build lint vet test race bench bench-json benchcmp
+.PHONY: check build lint vet test race fuzz-short bench bench-json benchcmp
 
 check: build lint test race
 
@@ -51,7 +57,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments
+
+# Each `go test -fuzz` invocation accepts exactly one target, so the
+# corpus-growing runs go one per line.
+fuzz-short:
+	$(GO) test -run XXX -fuzz FuzzSurgeMultiplier -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run XXX -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/cluster
 
 bench:
 	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS)

@@ -7,12 +7,20 @@
 // Usage:
 //
 //	epronsim [-quick] [-step 60] [-traces]
-//	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1]
+//	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit]
+//	epronsim -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit]
 //
 // The -faults mode runs the availability experiment instead: seeded
 // switch crashes and link flaps against the consolidated fabric, with
 // controller route repair and aggregator sub-query retry, reporting query
 // goodput, retries and SLA miss rate per fault rate.
+//
+// The -overload mode runs the flash-crowd overload sweep: the offered
+// query rate is pushed to each multiplier of the base rate and the
+// overload control plane (bounded queues, watermark admission + load
+// shedding, controller surge response) is compared against the
+// unprotected baseline. -audit enables runtime invariant checks in both
+// modes.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"eprons/internal/experiments"
 	"eprons/internal/parallel"
+	"eprons/internal/workload"
 )
 
 func main() {
@@ -37,6 +46,15 @@ func main() {
 	faultRates := flag.String("faultrates", "0,0.5,1,2", "fault rates to sweep (total fail events/s, split between switch crashes and link flaps)")
 	faultDur := flag.Float64("faultdur", 5, "seconds of traffic and fault injection per rate")
 	faultSeed := flag.Int64("faultseed", 1, "seed for the fault schedule and workload streams")
+	overloadMode := flag.Bool("overload", false, "run the flash-crowd overload experiment and exit")
+	overloadMults := flag.String("overloadmults", "0.5,1,2,3", "offered-load multipliers to sweep (x base rate; >1 arrives as a flash crowd)")
+	overloadDur := flag.Float64("overloaddur", 2, "seconds of query traffic per multiplier cell")
+	overloadRate := flag.Float64("overloadrate", 200, "base (1x) query rate in queries/s")
+	overloadSeed := flag.Int64("overloadseed", 1, "seed for the overload workload streams")
+	overloadWM := flag.Int("overloadwm", 0, "admission high watermark override (0 derives the SLA-aware default)")
+	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
+	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
+	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "concurrency for table training, the per-scheme diurnal replays and the planner's K search (<=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,7 +87,16 @@ func main() {
 	}
 
 	if *faultsMode {
-		if err := runFaults(*faultRates, *faultDur, *faultSeed, *workers, *csvOut); err != nil {
+		if err := runFaults(*faultRates, *faultDur, *faultSeed, *workers, *audit, *csvOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *overloadMode {
+		err := runOverload(*overloadMults, *overloadDur, *overloadRate, *overloadSeed,
+			*surgeShape, *surgeResponse, *overloadWM, *workers, *audit, *csvOut)
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -122,25 +149,60 @@ func main() {
 	fmt.Printf("\npaper reference: EPRONS 25%% avg / 31.25%% peak; TimeTrader 8%% avg / 12.5%% peak\n")
 }
 
-func runFaults(ratesArg string, dur float64, seed int64, workers int, csv bool) error {
-	var rates []float64
-	for _, part := range strings.Split(ratesArg, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return err
-		}
-		rates = append(rates, v)
+func runFaults(ratesArg string, dur float64, seed int64, workers int, audit, csv bool) error {
+	rates, err := parseFloatList(ratesArg)
+	if err != nil {
+		return err
 	}
 	rows, err := experiments.AvailabilitySweep(rates, experiments.AvailabilityConfig{
 		DurationS: dur,
 		Seed:      seed,
 		Workers:   workers,
+		Audit:     audit,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.Render(experiments.AvailabilityTable(rows), csv))
 	return nil
+}
+
+func runOverload(multsArg string, dur, rate float64, seed int64, shape string, surgeResponse bool, highWM, workers int, audit, csv bool) error {
+	mults, err := parseFloatList(multsArg)
+	if err != nil {
+		return err
+	}
+	profile, err := workload.ParseSurgeProfile(shape)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.OverloadSweep(mults, experiments.OverloadConfig{
+		DurationS:     dur,
+		BaseRate:      rate,
+		Profile:       profile,
+		SurgeResponse: surgeResponse,
+		HighWM:        highWM,
+		Audit:         audit,
+		Seed:          seed,
+		Workers:       workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(experiments.OverloadTable(rows), csv))
+	return nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func printTraces(csv bool) {

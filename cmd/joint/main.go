@@ -8,12 +8,18 @@
 // Usage:
 //
 //	joint [-quick] [-bg 0.01,0.20,0.50]
-//	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1]
+//	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit]
+//	joint -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit]
 //
 // The -faults mode skips the Fig 13 evaluation and instead runs the
 // fault-injection availability sweep: seeded switch crashes and link
 // flaps against the consolidated fabric, with controller route repair and
 // aggregator sub-query retry.
+//
+// The -overload mode runs the flash-crowd overload sweep: admission
+// control + load shedding + controller surge response versus the
+// unprotected baseline across offered-load multipliers. -audit enables
+// runtime invariant checks in both modes.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"eprons/internal/experiments"
 	"eprons/internal/parallel"
+	"eprons/internal/workload"
 )
 
 func parseFloats(s string) ([]float64, error) {
@@ -50,6 +57,14 @@ func main() {
 	faultRates := flag.String("faultrates", "0,0.5,1,2", "fault rates to sweep (total fail events/s, split between switch crashes and link flaps)")
 	faultDur := flag.Float64("faultdur", 5, "seconds of traffic and fault injection per rate")
 	faultSeed := flag.Int64("faultseed", 1, "seed for the fault schedule and workload streams")
+	overloadMode := flag.Bool("overload", false, "run the flash-crowd overload experiment and exit")
+	overloadMults := flag.String("overloadmults", "0.5,1,2,3", "offered-load multipliers to sweep (x base rate; >1 arrives as a flash crowd)")
+	overloadDur := flag.Float64("overloaddur", 2, "seconds of query traffic per multiplier cell")
+	overloadRate := flag.Float64("overloadrate", 200, "base (1x) query rate in queries/s")
+	overloadSeed := flag.Int64("overloadseed", 1, "seed for the overload workload streams")
+	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
+	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
+	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "training/evaluation concurrency (cells are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,11 +105,37 @@ func main() {
 			DurationS: *faultDur,
 			Seed:      *faultSeed,
 			Workers:   *workers,
+			Audit:     *audit,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.Render(experiments.AvailabilityTable(rows), *csvOut))
+		return
+	}
+
+	if *overloadMode {
+		mults, err := parseFloats(*overloadMults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profile, err := workload.ParseSurgeProfile(*surgeShape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := experiments.OverloadSweep(mults, experiments.OverloadConfig{
+			DurationS:     *overloadDur,
+			BaseRate:      *overloadRate,
+			Profile:       profile,
+			SurgeResponse: *surgeResponse,
+			Audit:         *audit,
+			Seed:          *overloadSeed,
+			Workers:       *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(experiments.OverloadTable(rows), *csvOut))
 		return
 	}
 

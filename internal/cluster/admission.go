@@ -1,0 +1,164 @@
+// Admission control for the search cluster: a watermark state machine over
+// server queue pressure that implements the overload control plane's shed
+// ordering — latency-tolerant background work is deferred FIRST (it has no
+// SLA to miss), and only then are excess queries rejected fast at the
+// aggregator (a fast rejection is a better user experience than a reply
+// that blows the SLA by an order of magnitude, and it is the only way to
+// keep the queues — and therefore the latency of admitted work — bounded).
+//
+// The paper's joint optimizer (§III–§V) assumes offered load is feasible at
+// fmax; when a flash crowd makes it infeasible, the DVFS policies can only
+// pin fmax (see dvfs.ModelPolicy.SaturationCount) while queues grow without
+// bound. Admission control is the missing pressure valve: it trades a
+// bounded, explicit shed rate for bounded tail latency of the work that is
+// admitted — the graceful-degradation curve of the overload sweep.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level is the admission pressure level, ordered by severity.
+type Level int
+
+// Pressure levels. Shedding implies deferring: if the cluster is rejecting
+// SLA-bearing queries it is certainly not granting slack to latency-
+// tolerant background work.
+const (
+	// LevelNormal admits everything.
+	LevelNormal Level = iota
+	// LevelDefer admits queries but signals that latency-tolerant
+	// background work should pause (Cluster.Deferring).
+	LevelDefer
+	// LevelShed rejects new queries at the aggregator (reject-fast).
+	LevelShed
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelDefer:
+		return "defer"
+	case LevelShed:
+		return "shed"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Admission is the hysteretic watermark state machine. Pressure is the
+// maximum per-server queue length (queued + in service): a partition-
+// aggregate query needs every ISN, so the most loaded server bounds the
+// query's feasibility.
+//
+// Engage/disengage pairs are hysteretic so the state does not flap when
+// pressure rides a watermark:
+//
+//	shed:  engages at pressure >= HighWM, disengages at pressure <= LowWM
+//	defer: engages at pressure >= DeferWM, disengages at pressure <= DeferLowWM
+//
+// Normalize() enforces DeferLowWM <= DeferWM <= HighWM and LowWM < HighWM,
+// so the shed ordering (defer first) holds by construction.
+type Admission struct {
+	HighWM     int
+	LowWM      int
+	DeferWM    int
+	DeferLowWM int
+
+	shedding  bool
+	deferring bool
+}
+
+// SLAWatermark returns the SLA-aware default high watermark: the deepest
+// per-server queue a newly admitted sub-query may join and still meet the
+// server budget with every core at fmax. Behind a queue of depth W the
+// newcomer completes about (W/cores + 1)·mean seconds later; the formula
+// reserves one further mean of headroom for service-time tails and for the
+// queue growth that happens while the sub-query is still in network flight:
+//
+//	W = floor(cores · (budget − 2·mean) / mean), at least 1.
+//
+// Admitting deeper queues silently converts overload into SLA misses for
+// ADMITTED work, defeating the point of shedding — the overload sweep's
+// acceptance test holds admitted-work attainment at 3× offered load within
+// a few percent of the uncongested point with exactly this default.
+func SLAWatermark(cores int, serverBudgetS, meanBaseS float64) int {
+	if cores <= 0 || serverBudgetS <= 0 || meanBaseS <= 0 {
+		return 0
+	}
+	wm := int(math.Floor(float64(cores) * (serverBudgetS - 2*meanBaseS) / meanBaseS))
+	if wm < 1 {
+		wm = 1
+	}
+	return wm
+}
+
+// Normalize fills defaults around HighWM and clamps the watermarks into a
+// consistent order. HighWM must be positive (callers derive it from
+// SLAWatermark or set it explicitly).
+func (a *Admission) Normalize() error {
+	if a.HighWM <= 0 {
+		return fmt.Errorf("cluster: admission high watermark must be positive")
+	}
+	if a.LowWM <= 0 {
+		a.LowWM = a.HighWM / 2
+	}
+	if a.LowWM >= a.HighWM {
+		a.LowWM = a.HighWM - 1
+	}
+	if a.DeferWM <= 0 {
+		a.DeferWM = (a.HighWM + 1) / 2
+	}
+	if a.DeferWM > a.HighWM {
+		a.DeferWM = a.HighWM
+	}
+	if a.DeferLowWM <= 0 {
+		a.DeferLowWM = a.DeferWM / 2
+	}
+	if a.DeferLowWM >= a.DeferWM {
+		a.DeferLowWM = a.DeferWM - 1
+	}
+	if a.DeferLowWM < 0 {
+		a.DeferLowWM = 0
+	}
+	return nil
+}
+
+// Observe folds one pressure reading into the state machine and returns
+// the resulting level. Negative pressure is treated as zero.
+func (a *Admission) Observe(pressure int) Level {
+	if pressure < 0 {
+		pressure = 0
+	}
+	switch {
+	case pressure >= a.HighWM:
+		a.shedding = true
+	case pressure <= a.LowWM:
+		a.shedding = false
+	}
+	switch {
+	case pressure >= a.DeferWM:
+		a.deferring = true
+	case pressure <= a.DeferLowWM:
+		a.deferring = false
+	}
+	if a.shedding {
+		// Shedding implies deferring: background work never runs while
+		// SLA-bearing queries are being rejected.
+		a.deferring = true
+	}
+	return a.Level()
+}
+
+// Level returns the current level without observing new pressure.
+func (a *Admission) Level() Level {
+	switch {
+	case a.shedding:
+		return LevelShed
+	case a.deferring:
+		return LevelDefer
+	}
+	return LevelNormal
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import "testing"
+
+func TestSLAWatermark(t *testing.T) {
+	// 2 cores, 25 ms budget, 4 ms mean: floor(2·(25−8)/4) = 8.
+	if got := SLAWatermark(2, 25e-3, 4e-3); got != 8 {
+		t.Fatalf("SLAWatermark(2, 25ms, 4ms) = %d, want 8", got)
+	}
+	// Degenerate inputs are rejected with 0 (caller must error or derive).
+	if SLAWatermark(0, 1, 1) != 0 || SLAWatermark(2, 0, 1) != 0 || SLAWatermark(2, 1, 0) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+	// A budget under 2 means still yields a usable watermark of 1: the
+	// cluster can always hold at least the in-service request.
+	if got := SLAWatermark(2, 1e-3, 4e-3); got != 1 {
+		t.Fatalf("tiny budget watermark %d, want 1", got)
+	}
+	// More cores admit deeper queues for the same budget.
+	if SLAWatermark(4, 25e-3, 4e-3) <= SLAWatermark(2, 25e-3, 4e-3) {
+		t.Fatal("watermark must grow with cores")
+	}
+}
+
+func TestAdmissionNormalizeDefaults(t *testing.T) {
+	a := Admission{HighWM: 8}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LowWM != 4 || a.DeferWM != 4 || a.DeferLowWM != 2 {
+		t.Fatalf("defaults %+v", a)
+	}
+	var zero Admission
+	if err := zero.Normalize(); err == nil {
+		t.Fatal("zero HighWM accepted")
+	}
+	// Inconsistent explicit watermarks are clamped into order.
+	b := Admission{HighWM: 2, LowWM: 5, DeferWM: 9, DeferLowWM: 9}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !(b.LowWM < b.HighWM && b.DeferLowWM < b.DeferWM && b.DeferWM <= b.HighWM && b.DeferLowWM >= 0) {
+		t.Fatalf("clamping left inconsistent watermarks %+v", b)
+	}
+}
+
+func TestAdmissionHysteresis(t *testing.T) {
+	a := Admission{HighWM: 8, LowWM: 4, DeferWM: 6, DeferLowWM: 3}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		pressure int
+		want     Level
+	}{
+		{0, LevelNormal},
+		{5, LevelNormal}, // below DeferWM: nothing engages
+		{6, LevelDefer},  // defer engages at its watermark
+		{4, LevelDefer},  // hysteresis: stays deferring above DeferLowWM
+		{8, LevelShed},   // shed engages at the high watermark
+		{5, LevelShed},   // hysteresis: stays shedding above LowWM
+		{7, LevelShed},
+		{4, LevelDefer},  // shed disengages at LowWM; defer persists
+		{3, LevelNormal}, // defer disengages at DeferLowWM
+		{-5, LevelNormal},
+	}
+	for i, s := range steps {
+		if got := a.Observe(s.pressure); got != s.want {
+			t.Fatalf("step %d: Observe(%d) = %v, want %v", i, s.pressure, got, s.want)
+		}
+		if a.Level() != s.want {
+			t.Fatalf("step %d: Level() disagrees with Observe", i)
+		}
+	}
+}
+
+func TestShedImpliesDefer(t *testing.T) {
+	// DeferLowWM above LowWM: dropping pressure into (LowWM, DeferLowWM]
+	// would disengage defer on its own — but shed is still engaged, and a
+	// shedding cluster must never resume background work.
+	a := Admission{HighWM: 8, LowWM: 2, DeferWM: 6, DeferLowWM: 3}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Observe(8); got != LevelShed {
+		t.Fatalf("Observe(8) = %v", got)
+	}
+	if got := a.Observe(3); got != LevelShed {
+		t.Fatalf("Observe(3) = %v, want shed (still above LowWM)", got)
+	}
+	// Disengaging shed at LowWM also releases the forced defer (pressure 2
+	// is at/below DeferLowWM).
+	if got := a.Observe(2); got != LevelNormal {
+		t.Fatalf("Observe(2) = %v, want normal", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelNormal.String() != "normal" || LevelDefer.String() != "defer" || LevelShed.String() != "shed" {
+		t.Fatal("level names")
+	}
+	if Level(42).String() == "" {
+		t.Fatal("unknown level must still stringify")
+	}
+}
+
+// FuzzAdmission drives the watermark state machine with arbitrary
+// watermarks and pressure sequences and asserts its safety invariants:
+// normalization always yields ordered watermarks, levels are always one of
+// the three defined values, pressure at/above HighWM always sheds, pressure
+// at/below every low watermark always returns to normal, and shedding
+// always implies deferring.
+func FuzzAdmission(f *testing.F) {
+	f.Add(8, 4, 6, 3, []byte{0, 6, 8, 5, 4, 3})
+	f.Add(1, 0, 0, 0, []byte{255, 0, 255, 0})
+	f.Add(100, 99, 100, 99, []byte{100, 99, 98})
+	f.Fuzz(func(t *testing.T, high, low, deferWM, deferLow int, pressures []byte) {
+		a := Admission{HighWM: high, LowWM: low, DeferWM: deferWM, DeferLowWM: deferLow}
+		if err := a.Normalize(); err != nil {
+			if high > 0 {
+				t.Fatalf("Normalize rejected positive HighWM %d: %v", high, err)
+			}
+			return
+		}
+		if !(a.LowWM < a.HighWM && a.DeferLowWM < a.DeferWM && a.DeferWM <= a.HighWM && a.DeferLowWM >= 0) {
+			t.Fatalf("normalized watermarks out of order: %+v", a)
+		}
+		for _, pb := range pressures {
+			p := int(pb)
+			level := a.Observe(p)
+			if level < LevelNormal || level > LevelShed {
+				t.Fatalf("undefined level %d", level)
+			}
+			if p >= a.HighWM && level != LevelShed {
+				t.Fatalf("pressure %d >= HighWM %d did not shed (level %v)", p, a.HighWM, level)
+			}
+			if p <= a.LowWM && p <= a.DeferLowWM && level != LevelNormal {
+				t.Fatalf("pressure %d below both low watermarks left level %v", p, level)
+			}
+			if level == LevelShed && !a.deferring {
+				t.Fatal("shedding without deferring: background would run during shed")
+			}
+			if level != a.Level() {
+				t.Fatal("Observe and Level disagree")
+			}
+		}
+	})
+}

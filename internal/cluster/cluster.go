@@ -79,6 +79,19 @@ type Config struct {
 	// Timeout-triggered retries re-send immediately, since the timeout
 	// itself already waited.
 	RetryDelay float64
+
+	// AdmissionControl enables the overload control plane: bounded
+	// per-server queues (server.Config.QueueLimit = the high watermark)
+	// plus watermark-based admission with SLA-aware load shedding at the
+	// aggregator. Off by default — every pre-overload experiment and the
+	// figure bit-identity contract run with unbounded queues and no
+	// shedding.
+	AdmissionControl bool
+	// Admission tunes the watermark state machine. A zero HighWM derives
+	// the SLA-aware default from the service distribution: the per-server
+	// queue depth beyond which a new sub-query cannot meet ServerBudget
+	// even at fmax (see SLAWatermark). Ignored unless AdmissionControl.
+	Admission Admission
 }
 
 // DefaultConfig fills the paper's values around a service distribution and
@@ -130,17 +143,27 @@ func (c *Config) fill() error {
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 1e-3
 	}
+	if c.AdmissionControl {
+		if c.Admission.HighWM <= 0 {
+			c.Admission.HighWM = SLAWatermark(c.CoresPerServer, c.ServerBudget, c.ServiceDist.Mean())
+		}
+		if err := c.Admission.Normalize(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Stats aggregates query-level results. The accounting identity is
+// Stats aggregates query-level results. The accounting identity (the
+// conservation identity the audit mode asserts) is
 //
-//	QueriesSubmitted = Queries + QueriesLost + Orphans()
+//	QueriesSubmitted = Queries + QueriesLost + QueriesShed + Orphans()
 //
 // where Orphans() is the number of queries still unresolved (in flight, or
 // stranded by a bug — a drained engine must leave it at zero).
 type Stats struct {
-	// QueriesSubmitted counts every query handed to SubmitQuery.
+	// QueriesSubmitted counts every query handed to SubmitQuery, including
+	// the ones admission control immediately shed.
 	QueriesSubmitted int
 	// Queries counts completed queries: every sub-query answered.
 	Queries      int
@@ -161,12 +184,37 @@ type Stats struct {
 	// that fired (Config.SubQueryTimeout).
 	Retries  int
 	Timeouts int
+	// QueriesShed counts queries rejected fast at the aggregator by
+	// admission control (Config.AdmissionControl): no sub-queries were
+	// sent, no server or network resources were spent. Shed work is
+	// explicit — it is neither completed, nor lost, nor orphaned.
+	QueriesShed int
+	// RejectedSub counts sub-queries refused at an ISN's bounded queue
+	// (server.TryEnqueue at the high watermark) — the backstop behind the
+	// aggregator-side watermark. Each rejection follows the drop/retry
+	// path, so the query still terminates.
+	RejectedSub int
+	// ShedTransitions counts LevelNormal/LevelDefer→LevelShed edges — how
+	// many distinct shedding episodes the run saw (hysteresis keeps this
+	// far below QueriesShed under a sustained surge).
+	ShedTransitions int
 }
 
 // Orphans returns the number of submitted queries not yet resolved as
-// completed or lost. After the event queue drains it must be zero: every
-// failure path resolves its query.
-func (s *Stats) Orphans() int { return s.QueriesSubmitted - s.Queries - s.QueriesLost }
+// completed, lost or shed. After the event queue drains it must be zero:
+// every failure path resolves its query.
+func (s *Stats) Orphans() int {
+	return s.QueriesSubmitted - s.Queries - s.QueriesLost - s.QueriesShed
+}
+
+// ShedRate returns the fraction of submitted queries rejected by admission
+// control.
+func (s *Stats) ShedRate() float64 {
+	if s.QueriesSubmitted == 0 {
+		return 0
+	}
+	return float64(s.QueriesShed) / float64(s.QueriesSubmitted)
+}
 
 // Goodput returns the fraction of submitted queries that completed.
 func (s *Stats) Goodput() float64 {
@@ -195,6 +243,16 @@ type Cluster struct {
 
 	agg    *rng.Stream
 	nextID int64
+
+	// adm is the admission state machine (Config.AdmissionControl); its
+	// zero value with admission disabled is never consulted.
+	adm Admission
+
+	// OnQueryComplete, if set, observes every completed query's end-to-end
+	// latency (seconds). The overload harness feeds a sliding latency
+	// window from it to derive a tail-latency saturation signal; nil (the
+	// default) costs nothing.
+	OnQueryComplete func(latS float64)
 }
 
 // New builds the cluster over an existing network. hosts are the
@@ -213,6 +271,13 @@ func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, er
 		net:   net,
 		hosts: hosts,
 		agg:   rng.Derive(cfg.Seed, "aggregator"),
+		adm:   cfg.Admission,
+	}
+	queueLimit := 0
+	if cfg.AdmissionControl {
+		// Bounded per-server queues: the ISN-side backstop is the same
+		// high watermark the aggregator sheds at.
+		queueLimit = cfg.Admission.HighWM
 	}
 	for i := range hosts {
 		i := i
@@ -223,6 +288,7 @@ func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, er
 			PolicyFactory: func(core int) server.Policy {
 				return cfg.PolicyFactory(i, core)
 			},
+			QueueLimit: queueLimit,
 		})
 		if err != nil {
 			return nil, err
@@ -296,6 +362,70 @@ func (c *Cluster) Servers() []*server.Server { return c.srvs }
 // Stats returns aggregate query statistics.
 func (c *Cluster) Stats() *Stats { return &c.stats }
 
+// Pressure returns the admission pressure signal: the maximum per-server
+// queue length (queued + in service). A partition-aggregate query fans out
+// to every ISN, so the most loaded server bounds its feasibility.
+func (c *Cluster) Pressure() int {
+	worst := 0
+	for _, srv := range c.srvs {
+		if n := srv.QueueLen(); n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// TotalQueueLen sums queued + in-service requests across all servers (the
+// backlog metric of the no-admission overload baseline).
+func (c *Cluster) TotalQueueLen() int {
+	n := 0
+	for _, srv := range c.srvs {
+		n += srv.QueueLen()
+	}
+	return n
+}
+
+// PeakQueue returns the highest per-server queue length seen anywhere in
+// the cluster so far.
+func (c *Cluster) PeakQueue() int {
+	worst := 0
+	for _, srv := range c.srvs {
+		if p := srv.Stats().PeakQueue; p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// AdmissionLevel returns the current admission level (LevelNormal when
+// admission control is disabled).
+func (c *Cluster) AdmissionLevel() Level {
+	if !c.Cfg.AdmissionControl {
+		return LevelNormal
+	}
+	return c.adm.Level()
+}
+
+// Shedding reports whether the aggregator is currently rejecting queries.
+func (c *Cluster) Shedding() bool { return c.AdmissionLevel() == LevelShed }
+
+// Deferring reports whether latency-tolerant background work should pause
+// (the first stage of the shed ordering). Background sources poll it from
+// their rate callbacks.
+func (c *Cluster) Deferring() bool { return c.AdmissionLevel() >= LevelDefer }
+
+// SaturationEpochs sums the per-server DVFS saturation counters — the
+// number of decisions where even fmax could not meet the SLA. This is the
+// signal the controller's surge response watches (zero for policies that
+// cannot report saturation, e.g. MaxFreq).
+func (c *Cluster) SaturationEpochs() int64 {
+	var n int64
+	for _, srv := range c.srvs {
+		n += srv.SaturationEpochs()
+	}
+	return n
+}
+
 // query is the aggregator-side state of one partition-aggregate query. It
 // resolves exactly once per sub-query (success or failure), so the query
 // itself always terminates as completed or lost — never silently vanishing
@@ -328,9 +458,28 @@ type subQuery struct {
 // sub-query's base service time. A sub-query whose request or reply is
 // dropped — or, with SubQueryTimeout set, whose reply is late — is retried
 // while the query's RetryBudget lasts, then marks the query lost.
+//
+// With AdmissionControl on, the aggregator first folds the current queue
+// pressure into the watermark state machine; at LevelShed the query is
+// rejected fast — counted in QueriesShed, no sub-queries sent, no server
+// or network work spent. The aggregator still consumes one draw from its
+// choice stream, so admitted queries land on the same aggregators they
+// would without shedding (determinism across admission settings at equal
+// admitted prefixes).
 func (c *Cluster) SubmitQuery(sampler func() float64) {
 	aggIdx := c.agg.Intn(len(c.hosts))
 	c.stats.QueriesSubmitted++
+	if c.Cfg.AdmissionControl {
+		before := c.adm.Level()
+		level := c.adm.Observe(c.Pressure())
+		if level == LevelShed {
+			if before != LevelShed {
+				c.stats.ShedTransitions++
+			}
+			c.stats.QueriesShed++
+			return
+		}
+	}
 	q := &query{
 		start:  c.eng.Now(),
 		total:  len(c.hosts) - 1,
@@ -468,6 +617,9 @@ func (c *Cluster) maybeFinish(q *query) {
 	if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
 		c.stats.SLAMisses++
 	}
+	if c.OnQueryComplete != nil {
+		c.OnQueryComplete(lat)
+	}
 }
 
 // pending tracks reply callbacks per request ID for each ISN server.
@@ -498,6 +650,18 @@ func (c *Cluster) enqueueWithReply(sq *subQuery, gen int, req *server.Request) {
 		c.net.SendMessage(c.FlowID(isn, sq.aggIdx), c.Cfg.ReplyBytes,
 			func(replyLat float64) { c.onReplyArrived(sq, gen, replyLat) },
 			func() { c.onDrop(sq, gen) })
+	}
+	if c.Cfg.AdmissionControl {
+		// Bounded ISN queue: a sub-query that slipped past the aggregator
+		// while pressure rose is refused here rather than growing the
+		// queue past the watermark; the refusal follows the retry path so
+		// the query still terminates (retried or lost, never orphaned).
+		if !srv.TryEnqueue(req) {
+			delete(c.pendings[isn], req.ID)
+			c.stats.RejectedSub++
+			c.failAttempt(sq, false)
+		}
+		return
 	}
 	srv.Enqueue(req)
 }

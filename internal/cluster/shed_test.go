@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"eprons/internal/dist"
+	"eprons/internal/fattree"
+	"eprons/internal/netsim"
+	"eprons/internal/sim"
+	"eprons/internal/workload"
+)
+
+// buildOverload wires a 16-host cluster on a fully powered fat-tree with
+// 2-core servers, ready for overload traffic.
+func buildOverload(t testing.TB, admission bool) (*Cluster, *sim.Engine, *dist.Discrete) {
+	t.Helper()
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(d, maxFreqFactory)
+	cfg.CoresPerServer = 2
+	cfg.RetryBudget = 4
+	cfg.AdmissionControl = admission
+	c, err := New(net, ft.Hosts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallShortestRoutes(net.Active()); err != nil {
+		t.Fatal(err)
+	}
+	return c, eng, d
+}
+
+// runOverloadTraffic floods the cluster with ~1.6× its fmax capacity for
+// 1.5 s and drains the engine.
+func runOverloadTraffic(t testing.TB, c *Cluster, eng *sim.Engine, d *dist.Discrete) {
+	t.Helper()
+	sampler := workload.NewSampler(d, 7)
+	stop := c.StartPoisson(func() float64 { return 800 }, sampler.Draw, 3)
+	eng.Run(1.5)
+	stop()
+	eng.RunAll()
+}
+
+func TestShedConservationUnderOverload(t *testing.T) {
+	c, eng, d := buildOverload(t, true)
+	runOverloadTraffic(t, c, eng, d)
+	st := c.Stats()
+	if st.QueriesShed == 0 {
+		t.Fatal("1.6x overload shed nothing")
+	}
+	if got := st.Orphans(); got != 0 {
+		t.Fatalf("%d orphans after drain (submitted %d, completed %d, lost %d, shed %d)",
+			got, st.QueriesSubmitted, st.Queries, st.QueriesLost, st.QueriesShed)
+	}
+	if st.QueriesSubmitted != st.Queries+st.QueriesLost+st.QueriesShed {
+		t.Fatalf("conservation violated: %d != %d + %d + %d",
+			st.QueriesSubmitted, st.Queries, st.QueriesLost, st.QueriesShed)
+	}
+	// Bounded queues: the per-server peak never exceeds the watermark the
+	// ISNs enforce.
+	if wm := c.Cfg.Admission.HighWM; c.PeakQueue() > wm {
+		t.Fatalf("peak queue %d above watermark %d", c.PeakQueue(), wm)
+	}
+	// Hysteresis batches rejections into episodes.
+	if st.ShedTransitions < 1 || st.ShedTransitions > st.QueriesShed {
+		t.Fatalf("shed episodes %d vs %d shed queries", st.ShedTransitions, st.QueriesShed)
+	}
+	if sum := st.ShedRate() + st.Goodput() + st.LossRate(); sum < 0.999 || sum > 1.001 {
+		t.Fatalf("rate partition sums to %g", sum)
+	}
+}
+
+func TestUnprotectedBaselineGrowsQueues(t *testing.T) {
+	c, eng, d := buildOverload(t, false)
+	runOverloadTraffic(t, c, eng, d)
+	st := c.Stats()
+	if st.QueriesShed != 0 || st.RejectedSub != 0 {
+		t.Fatal("baseline must not shed or reject")
+	}
+	if got := st.Orphans(); got != 0 {
+		t.Fatalf("%d orphans after drain", got)
+	}
+	// Without admission the backlog grows far past the SLA-aware watermark
+	// — the failure mode the control plane exists to prevent.
+	wm := SLAWatermark(2, c.Cfg.ServerBudget, c.Cfg.ServiceDist.Mean())
+	if c.PeakQueue() < 4*wm {
+		t.Fatalf("baseline peak queue %d did not blow past watermark %d", c.PeakQueue(), wm)
+	}
+	if c.AdmissionLevel() != LevelNormal || c.Shedding() || c.Deferring() {
+		t.Fatal("admission accessors must stay inert when disabled")
+	}
+}
+
+func TestAdmissionRunsAreDeterministic(t *testing.T) {
+	c1, eng1, d1 := buildOverload(t, true)
+	runOverloadTraffic(t, c1, eng1, d1)
+	c2, eng2, d2 := buildOverload(t, true)
+	runOverloadTraffic(t, c2, eng2, d2)
+	if !reflect.DeepEqual(c1.Stats(), c2.Stats()) {
+		t.Fatal("identical seeded overload runs diverged")
+	}
+}
+
+func TestOnQueryCompleteHook(t *testing.T) {
+	c, eng, d := buildOverload(t, false)
+	var lats []float64
+	c.OnQueryComplete = func(lat float64) { lats = append(lats, lat) }
+	sampler := workload.NewSampler(d, 7)
+	stop := c.StartPoisson(func() float64 { return 50 }, sampler.Draw, 3)
+	eng.Run(0.5)
+	stop()
+	eng.RunAll()
+	st := c.Stats()
+	if len(lats) != st.Queries {
+		t.Fatalf("hook saw %d completions, stats say %d", len(lats), st.Queries)
+	}
+	for _, l := range lats {
+		if l <= 0 {
+			t.Fatalf("non-positive completion latency %g", l)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Controller struct {
 	RepairedRoutes int
 	FailedRepairs  int
 	Emergencies    int
+	// SurgeExpansions counts surge-triggered full-fabric re-expansions;
+	// SurgeReconsolidations counts the optimizer rounds that shrank the
+	// fabric back after a surge calmed (see StartSurgeResponse).
+	SurgeExpansions       int
+	SurgeReconsolidations int
 	// LastResult is the most recent applied consolidation.
 	LastResult *consolidate.Result
 	running    bool
@@ -81,6 +86,9 @@ type Controller struct {
 	// FlowRatesInto refills it in place, so the epoch loop stops
 	// allocating a fresh map (plus one entry per flow) every poll.
 	ratesScratch map[flow.ID]float64
+	// surge holds the surge-response state (nil until
+	// StartSurgeResponse).
+	surge *surgeState
 }
 
 // New creates a controller managing the given nominal flow set. The flow
@@ -183,10 +191,23 @@ func (c *Controller) apply(res *consolidate.Result) {
 	}
 	c.LastResult = res
 	c.Applied++
+	if c.surge != nil && c.surge.inSurge {
+		// Any successfully applied consolidation ends the surge-expanded
+		// state, whether it came from surgeReconsolidate or the periodic
+		// optimizer round.
+		c.surge.inSurge = false
+		c.surge.hotPolls = 0
+		c.surge.calmPolls = 0
+		c.SurgeReconsolidations++
+	}
 }
 
-// Stop halts the loops after any in-flight tick.
-func (c *Controller) Stop() { c.running = false }
+// Stop halts the loops (including the surge-response loop) after any
+// in-flight tick.
+func (c *Controller) Stop() {
+	c.running = false
+	c.StopSurgeResponse()
+}
 
 // AddFlow registers a new flow with the controller mid-run (a tenant
 // arriving). The flow's configured demand seeds prediction until measured

@@ -1,0 +1,138 @@
+package controller
+
+import (
+	"testing"
+)
+
+// scriptedSignal returns a saturation signal driven by a mutable flag.
+type scriptedSignal struct{ hot bool }
+
+func (s *scriptedSignal) poll() bool { return s.hot }
+
+func TestSurgeResponseValidation(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartSurgeResponse(SurgeConfig{}, nil); err == nil {
+		t.Fatal("nil saturation signal accepted")
+	}
+	sig := &scriptedSignal{}
+	if err := c.StartSurgeResponse(SurgeConfig{}, sig.poll); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartSurgeResponse(SurgeConfig{}, sig.poll); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestSurgeExpandThenReconsolidate(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	consolidated := net.Active().ActiveSwitches()
+	if consolidated == 0 || consolidated >= 20 {
+		t.Fatalf("initial consolidation %d switches", consolidated)
+	}
+	sig := &scriptedSignal{hot: true}
+	err = c.StartSurgeResponse(SurgeConfig{CheckPeriod: 1, TriggerPolls: 2, CalmPolls: 3}, sig.poll)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hot polls (t=1, t=2) arm the expansion.
+	eng.Run(2.5)
+	if !c.InSurge() {
+		t.Fatal("two saturated polls did not expand")
+	}
+	if c.SurgeExpansions != 1 {
+		t.Fatalf("expansions %d, want 1", c.SurgeExpansions)
+	}
+	if got := net.Active().ActiveSwitches(); got != 20 {
+		t.Fatalf("surge-expanded fabric has %d switches, want all 20", got)
+	}
+	// Every managed flow still has an active route through the expanded
+	// fabric.
+	active := net.Active()
+	for _, f := range flows {
+		p, ok := net.Route(f.ID)
+		if !ok || !active.PathOn(p) {
+			t.Fatalf("flow %d lost its route across the expansion", f.ID)
+		}
+	}
+
+	// Three calm polls re-consolidate.
+	sig.hot = false
+	eng.Run(6.5)
+	if c.InSurge() {
+		t.Fatal("calm streak did not reconsolidate")
+	}
+	if c.SurgeReconsolidations != 1 {
+		t.Fatalf("reconsolidations %d, want 1", c.SurgeReconsolidations)
+	}
+	if got := net.Active().ActiveSwitches(); got >= 20 || got == 0 {
+		t.Fatalf("post-surge fabric has %d switches, want a consolidated subnet", got)
+	}
+	c.Stop()
+}
+
+func TestSurgeBlipDoesNotExpand(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	// Saturated exactly once, then quiet: below TriggerPolls=2, so the
+	// debounce must swallow it (a blip is not worth 72.5 s power-ons).
+	signal := func() bool {
+		polls++
+		return polls == 1
+	}
+	if err := c.StartSurgeResponse(SurgeConfig{CheckPeriod: 1, TriggerPolls: 2, CalmPolls: 3}, signal); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10)
+	if c.InSurge() || c.SurgeExpansions != 0 {
+		t.Fatalf("blip expanded the fabric (expansions %d)", c.SurgeExpansions)
+	}
+	c.Stop()
+}
+
+func TestStopSurgeResponseHaltsPolling(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sig := &scriptedSignal{hot: true}
+	if err := c.StartSurgeResponse(SurgeConfig{CheckPeriod: 1, TriggerPolls: 2}, sig.poll); err != nil {
+		t.Fatal(err)
+	}
+	c.StopSurgeResponse()
+	eng.Run(10)
+	if c.InSurge() || c.SurgeExpansions != 0 {
+		t.Fatal("stopped surge loop still expanded")
+	}
+	// The loop can be restarted after a stop.
+	if err := c.StartSurgeResponse(SurgeConfig{CheckPeriod: 1, TriggerPolls: 2}, sig.poll); err != nil {
+		t.Fatalf("restart after stop: %v", err)
+	}
+	eng.Run(20)
+	if !c.InSurge() {
+		t.Fatal("restarted surge loop never expanded")
+	}
+	c.Stop()
+}

@@ -165,6 +165,13 @@ type ModelPolicy struct {
 	grid     []float64
 	// decisions counts OnDecision calls (introspection for tests).
 	decisions int64
+	// saturated counts infeasible decisions: even fmax failed the VP
+	// budget, so the returned frequency is a best effort, not a guarantee.
+	// Silently pinning fmax used to be indistinguishable from a healthy
+	// fmax choice; the counter is the overload control plane's signal.
+	saturated int64
+	// lastInfeasible mirrors the most recent decision's feasibility.
+	lastInfeasible bool
 	// scratch holds the remaining-work distribution of the in-service
 	// request between decisions. Policies are per-core and single-threaded
 	// within a simulation, and the prefix never outlives the decision, so
@@ -243,10 +250,23 @@ func (p *ModelPolicy) OnDecision(now float64, cur *server.Request, queue []*serv
 		}
 	}
 	if lo == len(p.grid) {
+		// Infeasible: no frequency — not even fmax — meets the VP budget.
+		// Record the saturation instead of failing silently (the overload
+		// control plane reads SaturationCount), then run flat out.
+		p.saturated++
+		p.lastInfeasible = true
 		return p.grid[len(p.grid)-1]
 	}
+	p.lastInfeasible = false
 	return p.grid[lo]
 }
+
+// SaturationCount reports how many decisions were infeasible — the SLA was
+// unmeetable even at fmax. It implements server.SaturationReporter.
+func (p *ModelPolicy) SaturationCount() int64 { return p.saturated }
+
+// LastInfeasible reports whether the most recent decision was infeasible.
+func (p *ModelPolicy) LastInfeasible() bool { return p.lastInfeasible }
 
 // metric evaluates the decision metric (max or average VP over the queued
 // requests) at frequency f.
@@ -297,6 +317,10 @@ type TimeTrader struct {
 	freqIdx    int
 	lastAdjust float64
 	grid       []float64
+	// saturated counts adjustment epochs where the loop wanted to step up
+	// but was already pinned at fmax — the feedback policy's version of an
+	// infeasible decision.
+	saturated int64
 }
 
 // NewTimeTrader returns the policy with the paper's 5-second period.
@@ -322,10 +346,16 @@ func (t *TimeTrader) OnDecision(now float64, cur *server.Request, queue []*serve
 		// Evict-on-read: after a quiet gap the window must not keep
 		// feeding decisions from samples older than its span.
 		if t.window.CountAt(now) > 0 {
-			ratio := t.window.QuantileAt(now, t.Quantile)
+			// QuantileAtOr with a safe sentinel (Headroom keeps the index
+			// where it is) — a concurrent eviction race can never feed the
+			// step decision NaN or a stale sample.
+			ratio := t.window.QuantileAtOr(now, t.Quantile, t.Headroom)
 			switch {
 			case ratio > 1 && t.freqIdx < len(t.grid)-1:
 				t.freqIdx++
+			case ratio > 1:
+				// Wanted to step up but already pinned at fmax: saturated.
+				t.saturated++
 			case ratio < t.Headroom && t.freqIdx > 0:
 				t.freqIdx--
 			}
@@ -333,6 +363,10 @@ func (t *TimeTrader) OnDecision(now float64, cur *server.Request, queue []*serve
 	}
 	return t.grid[t.freqIdx]
 }
+
+// SaturationCount reports adjustment epochs pinned at fmax with the tail
+// still over budget. It implements server.SaturationReporter.
+func (t *TimeTrader) SaturationCount() int64 { return t.saturated }
 
 // OnComplete implements server.Policy.
 func (t *TimeTrader) OnComplete(now float64, r *server.Request) {

@@ -1,0 +1,82 @@
+package dvfs
+
+import (
+	"testing"
+
+	"eprons/internal/power"
+	"eprons/internal/server"
+)
+
+// Regression for the silent fmax-pinning failure mode: when even fmax
+// cannot satisfy the VP constraint (binary search exhausts the grid), the
+// policy used to pin fmax with no externally visible signal — overload
+// looked identical to a busy-but-feasible system. The infeasibility now
+// surfaces through LastInfeasible and the SaturationCount counter the surge
+// response polls.
+func TestInfeasibleDecisionRaisesSaturation(t *testing.T) {
+	m := pointModel(t, 2e-3)
+	p := NewRubik(m, 0.05)
+	// 2 ms of work due in 1 ms: infeasible even at fmax.
+	impossible := mkReq(1, 0, 2e-3, 1e-3, 1e-3)
+	if f := p.OnDecision(0, nil, []*server.Request{impossible}); f != power.FMaxGHz {
+		t.Fatalf("infeasible decision chose %g, want fmax", f)
+	}
+	if p.SaturationCount() != 1 {
+		t.Fatalf("saturation count %d, want 1", p.SaturationCount())
+	}
+	if !p.LastInfeasible() {
+		t.Fatal("infeasible decision did not set LastInfeasible")
+	}
+	// A subsequent feasible decision clears the instantaneous flag but
+	// keeps the cumulative counter.
+	loose := mkReq(2, 0, 2e-3, 10, 10)
+	if f := p.OnDecision(0, nil, []*server.Request{loose}); f != power.FMinGHz {
+		t.Fatalf("loose decision chose %g", f)
+	}
+	if p.LastInfeasible() {
+		t.Fatal("feasible decision left LastInfeasible set")
+	}
+	if p.SaturationCount() != 1 {
+		t.Fatalf("saturation count %d after feasible decision, want 1", p.SaturationCount())
+	}
+}
+
+// A deadline fmax can exactly meet is feasible: choosing the top grid step
+// because it is the right answer must NOT count as saturation.
+func TestFmaxFeasibleIsNotSaturation(t *testing.T) {
+	m := pointModel(t, 2e-3)
+	p := NewRubik(m, 0.05)
+	tight := mkReq(1, 0, 2e-3, 2.05e-3, 2.05e-3) // needs ~fmax but is feasible
+	if f := p.OnDecision(0, nil, []*server.Request{tight}); f != power.FMaxGHz {
+		t.Fatalf("tight-but-feasible decision chose %g, want fmax", f)
+	}
+	if p.SaturationCount() != 0 || p.LastInfeasible() {
+		t.Fatal("feasible fmax decision flagged as saturation")
+	}
+}
+
+func TestTimeTraderSaturation(t *testing.T) {
+	tt := NewTimeTrader()
+	tt.Period = 1
+	// A completion whose latency is 2.5x its allowance: the window's tail
+	// ratio sits above 1.
+	over := &server.Request{ID: 1, Arrival: 0, SlackDeadline: 10e-3}
+	tt.OnComplete(25e-3, over)
+	// First adjustment epoch: wants to step up but starts pinned at fmax.
+	if f := tt.OnDecision(1.2, nil, nil); f != power.FMaxGHz {
+		t.Fatalf("pinned decision chose %g, want fmax", f)
+	}
+	if tt.SaturationCount() != 1 {
+		t.Fatalf("saturation count %d, want 1", tt.SaturationCount())
+	}
+	// A healthy tail — after the over-budget sample ages out of the
+	// window — steps down without counting.
+	ok := &server.Request{ID: 2, Arrival: 10.5, SlackDeadline: 10.5 + 100e-3}
+	tt.OnComplete(10.501, ok)
+	if f := tt.OnDecision(11.3, nil, nil); f >= power.FMaxGHz {
+		t.Fatalf("healthy tail kept %g, want a step down", f)
+	}
+	if tt.SaturationCount() != 1 {
+		t.Fatalf("saturation count %d after healthy epoch, want 1", tt.SaturationCount())
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eprons/internal/cluster"
+	"eprons/internal/netsim"
+	"eprons/internal/sim"
+)
+
+// Runtime invariant audit ("-audit" on the CLI harnesses, Audit on the
+// sweep configs): cheap cross-checks of the simulator's global accounting,
+// run at drain points rather than per event so the audit mode costs almost
+// nothing. The experiment tests run the overload and availability sweeps
+// under audit, so a bookkeeping regression fails loudly instead of quietly
+// skewing a figure.
+//
+// The checks:
+//
+//   - query conservation including shed work: submitted = completed +
+//     lost + shed + orphans, all non-negative, and orphans == 0 once the
+//     engine has drained;
+//   - the network can refuse offered traffic but never carry traffic
+//     nobody offered: OfferedBytes >= CarriedBytes (both cumulative,
+//     unaffected by ResetStats);
+//   - the event engine's cached live count equals a from-scratch recount
+//     of its arena, and heap/arena occupancy agree (sim.AuditInvariants).
+
+// auditRun asserts the invariant set for one drained simulation cell.
+// drained should be true after eng.RunAll() — it arms the orphans == 0
+// assertion.
+func auditRun(eng *sim.Engine, net *netsim.Network, st *cluster.Stats, drained bool) error {
+	// Query conservation (incl. shed).
+	if st.QueriesSubmitted < 0 || st.Queries < 0 || st.QueriesLost < 0 || st.QueriesShed < 0 {
+		return fmt.Errorf("audit: negative query counter: %+v", st)
+	}
+	if sum := st.Queries + st.QueriesLost + st.QueriesShed; sum > st.QueriesSubmitted {
+		return fmt.Errorf("audit: conservation violated: completed %d + lost %d + shed %d > submitted %d",
+			st.Queries, st.QueriesLost, st.QueriesShed, st.QueriesSubmitted)
+	}
+	if drained {
+		if o := st.Orphans(); o != 0 {
+			return fmt.Errorf("audit: %d orphaned queries after drain (submitted %d, completed %d, lost %d, shed %d)",
+				o, st.QueriesSubmitted, st.Queries, st.QueriesLost, st.QueriesShed)
+		}
+	}
+	// Offered vs carried link bytes.
+	if net.OfferedBytes < net.CarriedBytes {
+		return fmt.Errorf("audit: carried bytes %d exceed offered bytes %d", net.CarriedBytes, net.OfferedBytes)
+	}
+	if net.OfferedBytes < 0 || net.CarriedBytes < 0 {
+		return fmt.Errorf("audit: negative byte counter (offered %d, carried %d)", net.OfferedBytes, net.CarriedBytes)
+	}
+	// Engine bookkeeping.
+	if err := eng.AuditInvariants(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if drained && eng.Len() != 0 {
+		return fmt.Errorf("audit: %d live events after drain", eng.Len())
+	}
+	return nil
+}

@@ -41,7 +41,21 @@ type AvailabilityConfig struct {
 	RetryBudget int
 	// RepairMeanS is the mean outage duration (default 0.2 s).
 	RepairMeanS float64
-	Seed        int64
+	// SurgeMagnitude layers a flash crowd over the query rate — a surge of
+	// this peak multiplier (profile SurgeProfile) spanning the middle half
+	// of the run — so faults and overload stress the system at once.
+	// Values <= 1 disable it (the default sweep is fault-only).
+	SurgeMagnitude float64
+	// SurgeProfile shapes the surge (default step).
+	SurgeProfile workload.SurgeProfile
+	// Admission enables the overload control plane (bounded queues,
+	// watermark shedding) during the fault sweep.
+	Admission bool
+	// Audit runs the runtime invariant checks (query conservation,
+	// offered >= carried bytes, engine bookkeeping) after each drained
+	// cell.
+	Audit bool
+	Seed  int64
 	// Workers bounds sweep concurrency; each fault-rate cell is an
 	// independent simulation with per-cell derived seeds, so results are
 	// identical for every worker count.
@@ -80,11 +94,13 @@ type AvailabilityRow struct {
 	// FailRate is the total fabric fault rate (events/s), split evenly
 	// between switch crashes and link flaps.
 	FailRate float64
-	// Query accounting: Submitted = Completed + Lost + Orphans. Orphans
-	// must be zero after the drained run — every query terminates.
+	// Query accounting: Submitted = Completed + Lost + Shed + Orphans.
+	// Orphans must be zero after the drained run — every query terminates.
+	// Shed stays zero unless Admission is enabled.
 	Submitted int
 	Completed int
 	Lost      int
+	Shed      int
 	Orphans   int
 	// Recovery machinery counters.
 	Retries    int
@@ -172,6 +188,7 @@ func availabilityCell(failRate float64, cfg AvailabilityConfig, seed int64) (Ava
 	clCfg.CoresPerServer = 2
 	clCfg.SubQueryTimeout = cfg.SubQueryTimeout
 	clCfg.RetryBudget = cfg.RetryBudget
+	clCfg.AdmissionControl = cfg.Admission
 	cl, err := cluster.New(net, ft.Hosts, clCfg)
 	if err != nil {
 		return row, err
@@ -250,8 +267,20 @@ func availabilityCell(failRate float64, cfg AvailabilityConfig, seed int64) (Ava
 		bgs = append(bgs, net.StartBackground(f.ID, func() float64 { return f.DemandBps },
 			rng.Derive(seed, fmt.Sprintf("avail-bg-%d", bi))))
 	}
+	// Optional flash crowd on top of the faults: a surge spanning the
+	// middle half of the run. An empty train multiplies by exactly 1, so
+	// the fault-only sweep is untouched.
+	var train workload.SurgeTrain
+	if cfg.SurgeMagnitude > 1 {
+		train.Surges = append(train.Surges, workload.Surge{
+			Profile:   cfg.SurgeProfile,
+			StartS:    cfg.DurationS * 0.25,
+			DurationS: cfg.DurationS * 0.5,
+			Magnitude: cfg.SurgeMagnitude,
+		})
+	}
 	sampler := workload.NewSampler(d, seed+5)
-	stop := cl.StartPoisson(func() float64 { return cfg.QueryRate }, sampler.Draw, seed+11)
+	stop := cl.StartPoisson(func() float64 { return cfg.QueryRate * train.At(eng.Now()) }, sampler.Draw, seed+11)
 
 	eng.Run(cfg.DurationS)
 	stop()
@@ -264,10 +293,16 @@ func availabilityCell(failRate float64, cfg AvailabilityConfig, seed int64) (Ava
 	eng.RunAll()
 
 	st := cl.Stats()
+	if cfg.Audit {
+		if err := auditRun(eng, net, st, true); err != nil {
+			return row, err
+		}
+	}
 	row.FailRate = failRate
 	row.Submitted = st.QueriesSubmitted
 	row.Completed = st.Queries
 	row.Lost = st.QueriesLost
+	row.Shed = st.QueriesShed
 	row.Orphans = st.Orphans()
 	row.Retries = st.Retries
 	row.Timeouts = st.Timeouts

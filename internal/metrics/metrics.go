@@ -175,6 +175,42 @@ func (w *Window) MeanAt(now float64) float64 {
 	return w.Mean()
 }
 
+// QuantileOr returns the nearest-rank quantile over the retained samples,
+// or the given sentinel when the window holds no samples or q is not a
+// usable quantile (NaN, or outside (0,1]). Surge-control loops query
+// windows that eviction may have just emptied; a defined sentinel keeps
+// NaN/garbage out of the control decision (pick a sentinel on the safe
+// side of the threshold being tested).
+func (w *Window) QuantileOr(q, sentinel float64) float64 {
+	if len(w.vals) == 0 || math.IsNaN(q) || q <= 0 || q > 1 {
+		return sentinel
+	}
+	return w.Quantile(q)
+}
+
+// QuantileAtOr evicts stale samples as of now, then answers QuantileOr.
+// This is the surge-safe accessor: after eviction the window may be empty,
+// and the sentinel (not a stale or NaN value) is what reaches the caller.
+func (w *Window) QuantileAtOr(now, q, sentinel float64) float64 {
+	w.evict(now)
+	return w.QuantileOr(q, sentinel)
+}
+
+// MeanOr returns the mean over the retained samples, or the sentinel when
+// the window is empty.
+func (w *Window) MeanOr(sentinel float64) float64 {
+	if len(w.vals) == 0 {
+		return sentinel
+	}
+	return w.Mean()
+}
+
+// MeanAtOr evicts stale samples as of now, then answers MeanOr.
+func (w *Window) MeanAtOr(now, sentinel float64) float64 {
+	w.evict(now)
+	return w.MeanOr(sentinel)
+}
+
 // Series records (time, value) pairs, e.g. total system power at one-minute
 // granularity for the Fig 15 reproduction.
 type Series struct {

@@ -129,6 +129,15 @@ type Network struct {
 	Dropped int64
 	// TailDrops counts only full-queue drops (Config.QueueLimitBytes).
 	TailDrops int64
+	// OfferedBytes counts every byte handed to the network (message
+	// packets and background packets, including ones immediately dropped
+	// for want of a route); CarriedBytes counts bytes accepted onto a
+	// first hop. Both are cumulative — ResetStats does NOT clear them —
+	// so the audit invariant OfferedBytes >= CarriedBytes holds for the
+	// whole run: the network can refuse offered traffic but can never
+	// carry traffic nobody offered.
+	OfferedBytes int64
+	CarriedBytes int64
 	// MsgDropped counts messages lost at the message level: a message is
 	// dropped exactly once no matter how many of its packets drop, and a
 	// message none of whose packets dropped is the only kind reported
@@ -287,6 +296,7 @@ func (n *Network) releasePacket(p *packet) {
 func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
 	p, ok := n.routes[fid]
 	if !ok || len(p) < 2 {
+		n.OfferedBytes += int64(size)
 		n.Dropped++
 		n.MsgDropped++
 		if onDropped != nil {
@@ -371,6 +381,11 @@ func (n *Network) stepPacket(pk *packet) {
 		return
 	}
 	hop := pk.hop
+	if hop == 0 {
+		// Offered-byte accounting: every packet presented at its first
+		// hop counts, whether or not the network accepts it.
+		n.OfferedBytes += int64(pk.bytes)
+	}
 	if hop >= len(pk.path)-1 {
 		n.finishPacket(pk, true)
 		return
@@ -407,6 +422,7 @@ func (n *Network) stepPacket(pk *packet) {
 		// counts bytes accepted onto the first hop, not offered bytes — a
 		// packet rejected at hop 0 never reaches any switch counter.
 		n.flowBytes[pk.fid] += int64(pk.bytes)
+		n.CarriedBytes += int64(pk.bytes)
 	}
 	txTime := float64(pk.bytes) * 8 / l.CapacityBps
 	depart := startTx + txTime
@@ -565,6 +581,10 @@ func (n *Network) ResetStats() {
 // without preempting the packet in service.
 func (n *Network) stepPQ(pk *packet) {
 	hop := pk.hop
+	if hop == 0 {
+		// Mirror the FIFO forwarder's offered-byte accounting.
+		n.OfferedBytes += int64(pk.bytes)
+	}
 	if hop >= len(pk.path)-1 {
 		n.finishPacket(pk, true)
 		return
@@ -586,6 +606,7 @@ func (n *Network) stepPQ(pk *packet) {
 		// Mirror the FIFO forwarder: flow counters tick at hop-0
 		// acceptance.
 		n.flowBytes[pk.fid] += int64(pk.bytes)
+		n.CarriedBytes += int64(pk.bytes)
 	}
 	// Carried-byte accounting at enqueue, matching FIFO mode: a packet
 	// accepted into a priority queue is committed to this link, and

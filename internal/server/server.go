@@ -67,6 +67,12 @@ type Config struct {
 	// PolicyFactory builds one policy instance per core.
 	PolicyFactory func(core int) Policy
 
+	// QueueLimit bounds the number of requests queued or in service across
+	// the whole server (all cores). 0 (default) keeps the historical
+	// unbounded queues. TryEnqueue rejects at the bound; Enqueue ignores it
+	// (legacy callers keep their semantics).
+	QueueLimit int
+
 	// Sleep enables the DynSleep/SleepScale-style extension the paper
 	// cites as the alternative server power-management family: an idle
 	// core enters a deep sleep state after SleepAfterIdleS and pays
@@ -100,6 +106,13 @@ type Stats struct {
 	SlackMisses     int             // finished after SlackDeadline
 	ServerMisses    int             // finished after ServerDeadline
 	BusyBaseSeconds float64
+	// Rejected counts requests refused by TryEnqueue at the queue bound
+	// (Config.QueueLimit) — the server-side backstop of admission control.
+	Rejected int
+	// PeakQueue is the high-water mark of QueueLen — under overload with
+	// no admission control it grows without bound, which is exactly the
+	// failure mode the overload sweep's baseline curve demonstrates.
+	PeakQueue int
 }
 
 // FreqResidency reports how many busy seconds the server's cores spent at
@@ -201,16 +214,39 @@ func New(eng *sim.Engine, cfg Config) (*Server, error) {
 // Stats returns aggregate statistics (valid once the engine is quiescent).
 func (s *Server) Stats() *Stats { return &s.stats }
 
-// Enqueue dispatches a request to the least-loaded core.
+// Enqueue dispatches a request to the least-loaded core. It never rejects:
+// legacy callers (and the no-admission overload baseline) keep unbounded
+// queues regardless of Config.QueueLimit.
 func (s *Server) Enqueue(r *Request) {
 	best := s.cores[0]
 	bestLoad := best.load()
+	total := bestLoad
 	for _, c := range s.cores[1:] {
-		if l := c.load(); l < bestLoad {
+		l := c.load()
+		total += l
+		if l < bestLoad {
 			best, bestLoad = c, l
 		}
 	}
+	if total+1 > s.stats.PeakQueue {
+		s.stats.PeakQueue = total + 1
+	}
 	best.enqueue(r)
+}
+
+// TryEnqueue dispatches like Enqueue but refuses the request when the
+// server already holds Config.QueueLimit requests (queued + in service),
+// returning false and counting the rejection. With QueueLimit == 0 it
+// never rejects. This is the bounded-queue backstop behind watermark
+// admission control: even if the admission layer lets a request slip
+// through while pressure rises, the queue cannot grow without bound.
+func (s *Server) TryEnqueue(r *Request) bool {
+	if s.Cfg.QueueLimit > 0 && s.QueueLen() >= s.Cfg.QueueLimit {
+		s.stats.Rejected++
+		return false
+	}
+	s.Enqueue(r)
+	return true
 }
 
 // QueueLen returns the total number of requests queued or in service.
@@ -419,6 +455,39 @@ func (c *core) complete() {
 	}
 	c.updatePower()
 	c.decide()
+}
+
+// SaturationReporter is implemented by policies that can tell when their
+// SLA became infeasible — the chosen frequency was fmax and the tail
+// budget still could not be met. The dvfs model policies and TimeTrader
+// implement it; MaxFreq (no SLA model) does not.
+type SaturationReporter interface {
+	// SaturationCount returns the cumulative number of infeasible
+	// decisions (or saturated adjustment epochs) so far.
+	SaturationCount() int64
+}
+
+// SaturationEpochs sums the saturation counters of every core policy that
+// implements SaturationReporter — the per-server saturation signal the
+// overload control plane polls. Servers whose policies cannot report
+// saturation contribute zero.
+func (s *Server) SaturationEpochs() int64 {
+	var n int64
+	for _, c := range s.cores {
+		if r, ok := c.policy.(SaturationReporter); ok {
+			n += r.SaturationCount()
+		}
+	}
+	return n
+}
+
+// Policies returns the per-core policy instances (introspection).
+func (s *Server) Policies() []Policy {
+	out := make([]Policy, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = c.policy
+	}
+	return out
 }
 
 // Wakes returns total sleep-state exits across cores.

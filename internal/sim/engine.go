@@ -213,6 +213,51 @@ func (e *Engine) RunAll() {
 	}
 }
 
+// AuditInvariants recounts the scheduler's bookkeeping from first
+// principles and returns an error if any cached aggregate disagrees — the
+// cheap assertion set behind the experiment harnesses' audit mode:
+//
+//   - Len() (the cached live counter) must equal the number of arena slots
+//     in the live state;
+//   - every live or cancelled slot must be reachable from exactly one heap
+//     entry (the heap can hold at most one entry per occupied slot);
+//   - the heap cannot be smaller than the number of occupied slots (a
+//     lazily-cancelled slot keeps its entry until popped).
+//
+// It is read-only and O(heap + arena); audit runs call it at drain points,
+// not per event.
+func (e *Engine) AuditInvariants() error {
+	live, cancelled := 0, 0
+	for i := range e.events {
+		switch e.events[i].state {
+		case stateLive:
+			live++
+		case stateCancelled:
+			cancelled++
+		}
+	}
+	if live != e.live {
+		return fmt.Errorf("sim: Len() reports %d live events, arena holds %d", e.live, live)
+	}
+	if occupied := live + cancelled; len(e.heap) != occupied {
+		return fmt.Errorf("sim: heap holds %d entries, arena holds %d occupied slots", len(e.heap), occupied)
+	}
+	seen := make(map[int32]bool, len(e.heap))
+	for _, h := range e.heap {
+		if h.slot < 0 || int(h.slot) >= len(e.events) {
+			return fmt.Errorf("sim: heap entry references slot %d outside arena of %d", h.slot, len(e.events))
+		}
+		if e.events[h.slot].state == stateFree {
+			return fmt.Errorf("sim: heap entry references free slot %d", h.slot)
+		}
+		if seen[h.slot] {
+			return fmt.Errorf("sim: heap holds two entries for slot %d", h.slot)
+		}
+		seen[h.slot] = true
+	}
+	return nil
+}
+
 // siftUp appends entry at the bottom of the 4-ary heap and bubbles it up.
 // An entry scheduled later than everything on its root path — the common
 // now+delta case — exits after the first comparison.

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"eprons/internal/rng"
+)
+
+// SurgeProfile selects the shape of a flash-crowd surge layered onto a
+// base arrival-rate trace.
+type SurgeProfile int
+
+// Surge shapes. All profiles multiply the base rate by 1 outside
+// [StartS, StartS+DurationS] and by up to Magnitude inside it.
+const (
+	// SurgeStep jumps instantly to Magnitude at StartS, holds for
+	// DurationS, and drops instantly back — the classic flash crowd
+	// (a news event, a marketing push going live).
+	SurgeStep SurgeProfile = iota
+	// SurgeSpike jumps instantly to Magnitude and decays linearly back to
+	// 1 over DurationS — a viral burst whose audience loses interest.
+	SurgeSpike
+	// SurgeRamp rises linearly to Magnitude over the first RampS seconds,
+	// holds, then falls linearly over the last RampS — organic growth
+	// around a scheduled event.
+	SurgeRamp
+)
+
+// String implements fmt.Stringer.
+func (p SurgeProfile) String() string {
+	switch p {
+	case SurgeStep:
+		return "step"
+	case SurgeSpike:
+		return "spike"
+	case SurgeRamp:
+		return "ramp"
+	}
+	return fmt.Sprintf("profile(%d)", int(p))
+}
+
+// ParseSurgeProfile parses "step", "spike" or "ramp".
+func ParseSurgeProfile(s string) (SurgeProfile, error) {
+	switch s {
+	case "step":
+		return SurgeStep, nil
+	case "spike":
+		return SurgeSpike, nil
+	case "ramp":
+		return SurgeRamp, nil
+	}
+	return 0, fmt.Errorf("workload: unknown surge profile %q (want step, spike or ramp)", s)
+}
+
+// Surge is one deterministic flash-crowd event: a multiplicative
+// perturbation of the offered query rate.
+type Surge struct {
+	Profile   SurgeProfile
+	StartS    float64
+	DurationS float64
+	// Magnitude is the peak rate multiplier (>= 1; 2.0 doubles the load).
+	Magnitude float64
+	// RampS is the rise/fall time of SurgeRamp (clamped to DurationS/2;
+	// default DurationS/4).
+	RampS float64
+}
+
+// MultiplierAt returns the surge's rate multiplier at time t. Outside the
+// surge window — and for degenerate surges (non-positive duration or
+// magnitude <= 1) — it is exactly 1, and it is always finite and >= 1.
+func (s Surge) MultiplierAt(t float64) float64 {
+	if s.DurationS <= 0 || s.Magnitude <= 1 ||
+		math.IsNaN(s.Magnitude) || math.IsInf(s.Magnitude, 0) {
+		return 1
+	}
+	// The negated comparison also rejects NaN offsets (NaN StartS, NaN t,
+	// or Inf−Inf), which would otherwise slip past both inequalities and
+	// reach the profile arithmetic — the fuzz target's favourite hole.
+	dt := t - s.StartS
+	if !(dt >= 0 && dt < s.DurationS) {
+		return 1
+	}
+	switch s.Profile {
+	case SurgeSpike:
+		// Instant peak, linear decay to 1 at the window's end.
+		return s.Magnitude - (s.Magnitude-1)*(dt/s.DurationS)
+	case SurgeRamp:
+		ramp := s.RampS
+		if ramp <= 0 {
+			ramp = s.DurationS / 4
+		}
+		if ramp > s.DurationS/2 {
+			ramp = s.DurationS / 2
+		}
+		switch {
+		case dt < ramp:
+			return 1 + (s.Magnitude-1)*(dt/ramp)
+		case dt > s.DurationS-ramp:
+			return 1 + (s.Magnitude-1)*((s.DurationS-dt)/ramp)
+		}
+		return s.Magnitude
+	}
+	return s.Magnitude // SurgeStep and unknown profiles hold the plateau
+}
+
+// SurgeTrain is a sequence of surges layered onto one trace. Overlapping
+// surges compose by the maximum of their multipliers (two simultaneous
+// flash crowds do not multiply each other's audience).
+type SurgeTrain struct {
+	Surges []Surge
+}
+
+// At returns the combined multiplier at time t (>= 1, finite).
+func (st SurgeTrain) At(t float64) float64 {
+	m := 1.0
+	for _, s := range st.Surges {
+		if v := s.MultiplierAt(t); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Apply layers the train onto a base rate function: the returned function
+// is base(t) · At(t).
+func (st SurgeTrain) Apply(base func(t float64) float64) func(t float64) float64 {
+	return func(t float64) float64 { return base(t) * st.At(t) }
+}
+
+// SurgeConfig drives the deterministic random surge generator.
+type SurgeConfig struct {
+	// HorizonS is the time span surges are placed in (required).
+	HorizonS float64
+	// Events is the number of surges to generate (default 3).
+	Events int
+	// MinDurS/MaxDurS bound each surge's duration (defaults HorizonS/50
+	// and HorizonS/10).
+	MinDurS, MaxDurS float64
+	// MinMag/MaxMag bound the peak multiplier (defaults 1.5 and 3).
+	MinMag, MaxMag float64
+	// Profiles restricts the shapes drawn (default: all three).
+	Profiles []SurgeProfile
+}
+
+func (c *SurgeConfig) fill() error {
+	if c.HorizonS <= 0 {
+		return fmt.Errorf("workload: surge horizon must be positive")
+	}
+	if c.Events <= 0 {
+		c.Events = 3
+	}
+	if c.MinDurS <= 0 {
+		c.MinDurS = c.HorizonS / 50
+	}
+	if c.MaxDurS <= 0 {
+		c.MaxDurS = c.HorizonS / 10
+	}
+	if c.MaxDurS < c.MinDurS {
+		c.MaxDurS = c.MinDurS
+	}
+	if c.MinMag <= 1 {
+		c.MinMag = 1.5
+	}
+	if c.MaxMag <= 0 {
+		c.MaxMag = 3
+	}
+	if c.MaxMag < c.MinMag {
+		c.MaxMag = c.MinMag
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = []SurgeProfile{SurgeStep, SurgeSpike, SurgeRamp}
+	}
+	return nil
+}
+
+// GenerateSurges draws a deterministic surge train from the seed: start
+// times uniform over the horizon, durations and magnitudes uniform within
+// their bounds, profiles cycled through cfg.Profiles by draw. The same
+// (cfg, seed) always yields the same train — surge experiments stay
+// bit-identical across worker counts like every other sweep.
+func GenerateSurges(cfg SurgeConfig, seed int64) (SurgeTrain, error) {
+	if err := cfg.fill(); err != nil {
+		return SurgeTrain{}, err
+	}
+	stream := rng.Derive(seed, "surge-train")
+	train := SurgeTrain{Surges: make([]Surge, 0, cfg.Events)}
+	for i := 0; i < cfg.Events; i++ {
+		dur := cfg.MinDurS + (cfg.MaxDurS-cfg.MinDurS)*stream.Float64()
+		start := (cfg.HorizonS - dur) * stream.Float64()
+		if start < 0 {
+			start = 0
+		}
+		mag := cfg.MinMag + (cfg.MaxMag-cfg.MinMag)*stream.Float64()
+		train.Surges = append(train.Surges, Surge{
+			Profile:   cfg.Profiles[stream.Intn(len(cfg.Profiles))],
+			StartS:    start,
+			DurationS: dur,
+			Magnitude: mag,
+			RampS:     dur / 4,
+		})
+	}
+	return train, nil
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSurgeStepShape(t *testing.T) {
+	s := Surge{Profile: SurgeStep, StartS: 10, DurationS: 20, Magnitude: 3}
+	cases := map[float64]float64{
+		0: 1, 9.999: 1, // before
+		10: 3, 20: 3, 29.999: 3, // plateau
+		30: 1, 100: 1, // after (window is half-open)
+	}
+	for tm, want := range cases {
+		if got := s.MultiplierAt(tm); got != want {
+			t.Fatalf("step at t=%g: %g, want %g", tm, got, want)
+		}
+	}
+}
+
+func TestSurgeSpikeShape(t *testing.T) {
+	s := Surge{Profile: SurgeSpike, StartS: 0, DurationS: 10, Magnitude: 3}
+	if got := s.MultiplierAt(0); got != 3 {
+		t.Fatalf("spike onset %g, want 3", got)
+	}
+	if got := s.MultiplierAt(5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("spike midpoint %g, want 2", got)
+	}
+	if got := s.MultiplierAt(10); got != 1 {
+		t.Fatalf("spike end %g, want 1", got)
+	}
+	// Monotone decay inside the window.
+	prev := math.Inf(1)
+	for tm := 0.0; tm < 10; tm += 0.5 {
+		v := s.MultiplierAt(tm)
+		if v > prev {
+			t.Fatalf("spike not monotone at t=%g", tm)
+		}
+		prev = v
+	}
+}
+
+func TestSurgeRampShape(t *testing.T) {
+	s := Surge{Profile: SurgeRamp, StartS: 0, DurationS: 20, Magnitude: 3, RampS: 5}
+	if got := s.MultiplierAt(0); got != 1 {
+		t.Fatalf("ramp onset %g, want 1", got)
+	}
+	if got := s.MultiplierAt(2.5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mid-rise %g, want 2", got)
+	}
+	if got := s.MultiplierAt(10); got != 3 {
+		t.Fatalf("plateau %g, want 3", got)
+	}
+	if got := s.MultiplierAt(17.5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mid-fall %g, want 2", got)
+	}
+	// RampS longer than half the window clamps instead of crossing over.
+	long := Surge{Profile: SurgeRamp, StartS: 0, DurationS: 10, Magnitude: 2, RampS: 50}
+	if got := long.MultiplierAt(5); got != 2 {
+		t.Fatalf("clamped ramp peak %g, want 2", got)
+	}
+}
+
+func TestSurgeDegenerateIsIdentity(t *testing.T) {
+	degenerate := []Surge{
+		{Profile: SurgeStep, DurationS: 0, Magnitude: 3},
+		{Profile: SurgeStep, DurationS: -1, Magnitude: 3},
+		{Profile: SurgeSpike, DurationS: 10, Magnitude: 1},
+		{Profile: SurgeSpike, DurationS: 10, Magnitude: 0.5},
+		{Profile: SurgeRamp, DurationS: 10, Magnitude: math.NaN()},
+		{Profile: SurgeRamp, DurationS: 10, Magnitude: math.Inf(1)},
+		{Profile: SurgeStep, StartS: math.NaN(), DurationS: 10, Magnitude: 2},
+		{Profile: SurgeSpike, StartS: 0, DurationS: math.NaN(), Magnitude: 2},
+	}
+	for i, s := range degenerate {
+		for _, tm := range []float64{-1, 0, 5, 100, math.NaN()} {
+			if got := s.MultiplierAt(tm); got != 1 {
+				t.Fatalf("degenerate surge %d at t=%g: %g, want 1", i, tm, got)
+			}
+		}
+	}
+}
+
+func TestSurgeTrainComposesByMax(t *testing.T) {
+	train := SurgeTrain{Surges: []Surge{
+		{Profile: SurgeStep, StartS: 0, DurationS: 10, Magnitude: 2},
+		{Profile: SurgeStep, StartS: 5, DurationS: 10, Magnitude: 3},
+	}}
+	if got := train.At(2); got != 2 {
+		t.Fatalf("train at 2: %g", got)
+	}
+	if got := train.At(7); got != 3 { // overlap: max, not product
+		t.Fatalf("train overlap: %g, want 3", got)
+	}
+	if got := train.At(12); got != 3 {
+		t.Fatalf("train at 12: %g", got)
+	}
+	if got := train.At(20); got != 1 {
+		t.Fatalf("train outside: %g", got)
+	}
+	base := func(t float64) float64 { return 100 }
+	if got := train.Apply(base)(7); got != 300 {
+		t.Fatalf("Apply: %g, want 300", got)
+	}
+	var empty SurgeTrain
+	if got := empty.At(3); got != 1 {
+		t.Fatalf("empty train: %g", got)
+	}
+}
+
+func TestGenerateSurgesDeterministic(t *testing.T) {
+	cfg := SurgeConfig{HorizonS: 100, Events: 5}
+	a, err := GenerateSurges(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSurges(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (cfg, seed) produced different trains")
+	}
+	c, err := GenerateSurges(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical trains")
+	}
+	if len(a.Surges) != 5 {
+		t.Fatalf("generated %d surges, want 5", len(a.Surges))
+	}
+	for i, s := range a.Surges {
+		if s.StartS < 0 || s.StartS+s.DurationS > cfg.HorizonS+1e-9 {
+			t.Fatalf("surge %d outside horizon: start %g dur %g", i, s.StartS, s.DurationS)
+		}
+		if s.Magnitude < 1.5 || s.Magnitude > 3 {
+			t.Fatalf("surge %d magnitude %g outside defaults [1.5, 3]", i, s.Magnitude)
+		}
+	}
+	if _, err := GenerateSurges(SurgeConfig{}, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestParseSurgeProfile(t *testing.T) {
+	for _, p := range []SurgeProfile{SurgeStep, SurgeSpike, SurgeRamp} {
+		got, err := ParseSurgeProfile(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParseSurgeProfile("tsunami"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// FuzzSurgeMultiplier asserts the generator's core safety contract on
+// arbitrary (including hostile) surge parameters: the multiplier is always
+// finite, always >= 1, never exceeds a valid magnitude, and is exactly 1
+// outside the surge window. The admission path multiplies offered rates by
+// this value — NaN or a sub-1 multiplier would corrupt every arrival
+// process downstream.
+func FuzzSurgeMultiplier(f *testing.F) {
+	f.Add(0, 10.0, 20.0, 3.0, 5.0, 15.0)
+	f.Add(1, 0.0, 10.0, 2.5, 0.0, 0.0)
+	f.Add(2, 5.0, 0.0, 1.0, -3.0, 7.0)
+	f.Add(0, math.Inf(1), math.NaN(), math.Inf(-1), math.NaN(), 1.0)
+	f.Fuzz(func(t *testing.T, profile int, start, dur, mag, ramp, tm float64) {
+		s := Surge{
+			Profile:   SurgeProfile(profile % 5), // includes undefined shapes
+			StartS:    start,
+			DurationS: dur,
+			Magnitude: mag,
+			RampS:     ramp,
+		}
+		v := s.MultiplierAt(tm)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite multiplier %g for %+v at t=%g", v, s, tm)
+		}
+		if v < 1 {
+			t.Fatalf("multiplier %g < 1 for %+v at t=%g", v, s, tm)
+		}
+		if mag > 1 && !math.IsInf(mag, 0) && !math.IsNaN(mag) && v > mag {
+			t.Fatalf("multiplier %g exceeds magnitude %g for %+v at t=%g", v, mag, s, tm)
+		}
+		if dt := tm - start; !math.IsNaN(dt) && (dt < 0 || dt >= dur) && v != 1 {
+			t.Fatalf("multiplier %g outside window for %+v at t=%g", v, s, tm)
+		}
+		// The train composition preserves the same bounds.
+		train := SurgeTrain{Surges: []Surge{s, s}}
+		if tv := train.At(tm); tv != v {
+			t.Fatalf("train of identical surges %g != single %g", tv, v)
+		}
+	})
+}
