@@ -13,7 +13,9 @@
 #   make lint       — gofmt (must be clean) + go vet.
 #   make bench      — the allocation/latency benchmarks the perf work tracks
 #                     (engine scheduling/cancellation, packet forwarding,
-#                     FFT convolution reuse, DVFS decide, Fig 15 end-to-end).
+#                     background elephants packet vs fluid, FFT convolution
+#                     reuse, DVFS decide, Fig 10 end-to-end packet/fluid/k=8,
+#                     Fig 15 end-to-end).
 #   make bench-json — run the tier-1 benches and snapshot them to
 #                     BENCH_<n>.json (name, ns/op, B/op, allocs/op) so the
 #                     perf trajectory is machine-readable across PRs.
@@ -31,8 +33,9 @@ FUZZTIME ?= 10s
 GOFMT ?= gofmt
 
 # The tier-1 benchmark suite tracked across PRs: scheduler hot path,
-# packet pipeline, FFT/DVFS kernels, and the Fig 15 end-to-end sweep.
-BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution|BenchmarkFig15DiurnalSavings'
+# packet pipeline, background-elephant cost (packet vs fluid), FFT/DVFS
+# kernels, and the Fig 10 (packet, fluid, k=8) and Fig 15 end-to-end sweeps.
+BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkNetsimBackground|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution|BenchmarkFig10|BenchmarkFig15DiurnalSavings'
 BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
 BENCHCOUNT ?= 3
 
@@ -57,13 +60,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments ./internal/metrics ./internal/topology
 
 # Each `go test -fuzz` invocation accepts exactly one target, so the
 # corpus-growing runs go one per line.
 fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzSurgeMultiplier -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run XXX -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run XXX -fuzz FuzzFluidPromoteDemote -fuzztime $(FUZZTIME) ./internal/netsim
 
 bench:
 	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS)

@@ -115,6 +115,40 @@ func BenchmarkFig10AggregationLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkFig10EndToEndFluid is the same Fig 10 cell as
+// BenchmarkFig10AggregationLatency with the hybrid fluid/packet background
+// engine on: the 12 k=4 elephants become analytic link reservations, so the
+// end-to-end figure regeneration should run several times faster while the
+// reported tails stay within the pinned tolerance
+// (experiments.TestFig10FluidTolerance).
+func BenchmarkFig10EndToEndFluid(b *testing.B) {
+	cfg := experiments.NetLatencyConfig{DurationS: 1.5, Fluid: true}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].P95S*1e6, "us-p95@agg0")
+		b.ReportMetric(rows[1].P95S*1e6, "us-p95@agg3")
+	}
+}
+
+// BenchmarkFig10K8 regenerates a Fig 10 cell on the 8-ary fat-tree
+// (128 hosts, 80 switches, 56 background elephants) — the packet-level
+// scale point the fluid engine unlocks. Per-pod flow counts grow as k², so
+// without fluid folding this cell is dominated by elephant packet events.
+func BenchmarkFig10K8(b *testing.B) {
+	cfg := experiments.NetLatencyConfig{DurationS: 0.75, K: 8, Fluid: true}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].P95S*1e6, "us-p95@agg0")
+		b.ReportMetric(rows[1].P95S*1e6, "us-p95@agg3")
+	}
+}
+
 func BenchmarkFig11ScaleFactorTradeoff(b *testing.B) {
 	cfg := experiments.NetLatencyConfig{DurationS: 1.5}
 	for i := 0; i < b.N; i++ {

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	epronsim [-quick] [-step 60] [-traces]
-//	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit]
-//	epronsim -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit]
+//	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
+//	epronsim -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
 //
 // The -faults mode runs the availability experiment instead: seeded
 // switch crashes and link flaps against the consolidated fabric, with
@@ -55,6 +55,7 @@ func main() {
 	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
 	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
 	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
+	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background-traffic engine in -faults/-overload modes (order-of-magnitude fewer events; off = exact packet-level simulation)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "concurrency for table training, the per-scheme diurnal replays and the planner's K search (<=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -87,7 +88,7 @@ func main() {
 	}
 
 	if *faultsMode {
-		if err := runFaults(*faultRates, *faultDur, *faultSeed, *workers, *audit, *csvOut); err != nil {
+		if err := runFaults(*faultRates, *faultDur, *faultSeed, *workers, *audit, *fluid, *csvOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -95,7 +96,7 @@ func main() {
 
 	if *overloadMode {
 		err := runOverload(*overloadMults, *overloadDur, *overloadRate, *overloadSeed,
-			*surgeShape, *surgeResponse, *overloadWM, *workers, *audit, *csvOut)
+			*surgeShape, *surgeResponse, *overloadWM, *workers, *audit, *fluid, *csvOut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func main() {
 	fmt.Printf("\npaper reference: EPRONS 25%% avg / 31.25%% peak; TimeTrader 8%% avg / 12.5%% peak\n")
 }
 
-func runFaults(ratesArg string, dur float64, seed int64, workers int, audit, csv bool) error {
+func runFaults(ratesArg string, dur float64, seed int64, workers int, audit, fluid, csv bool) error {
 	rates, err := parseFloatList(ratesArg)
 	if err != nil {
 		return err
@@ -159,6 +160,7 @@ func runFaults(ratesArg string, dur float64, seed int64, workers int, audit, csv
 		Seed:      seed,
 		Workers:   workers,
 		Audit:     audit,
+		Fluid:     fluid,
 	})
 	if err != nil {
 		return err
@@ -167,7 +169,7 @@ func runFaults(ratesArg string, dur float64, seed int64, workers int, audit, csv
 	return nil
 }
 
-func runOverload(multsArg string, dur, rate float64, seed int64, shape string, surgeResponse bool, highWM, workers int, audit, csv bool) error {
+func runOverload(multsArg string, dur, rate float64, seed int64, shape string, surgeResponse bool, highWM, workers int, audit, fluid, csv bool) error {
 	mults, err := parseFloatList(multsArg)
 	if err != nil {
 		return err
@@ -183,6 +185,7 @@ func runOverload(multsArg string, dur, rate float64, seed int64, shape string, s
 		SurgeResponse: surgeResponse,
 		HighWM:        highWM,
 		Audit:         audit,
+		Fluid:         fluid,
 		Seed:          seed,
 		Workers:       workers,
 	})

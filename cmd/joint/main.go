@@ -8,8 +8,8 @@
 // Usage:
 //
 //	joint [-quick] [-bg 0.01,0.20,0.50]
-//	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit]
-//	joint -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit]
+//	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
+//	joint -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
 //
 // The -faults mode skips the Fig 13 evaluation and instead runs the
 // fault-injection availability sweep: seeded switch crashes and link
@@ -65,6 +65,7 @@ func main() {
 	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
 	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
 	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
+	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background-traffic engine in -faults/-overload modes (order-of-magnitude fewer events; off = exact packet-level simulation)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "training/evaluation concurrency (cells are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -106,6 +107,7 @@ func main() {
 			Seed:      *faultSeed,
 			Workers:   *workers,
 			Audit:     *audit,
+			Fluid:     *fluid,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -129,6 +131,7 @@ func main() {
 			Profile:       profile,
 			SurgeResponse: *surgeResponse,
 			Audit:         *audit,
+			Fluid:         *fluid,
 			Seed:          *overloadSeed,
 			Workers:       *workers,
 		})

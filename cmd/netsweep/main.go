@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netsweep [-fig 10|11|all] [-duration 3] [-rate 40] [-workers N]
+//	netsweep [-fig 10|11|all] [-duration 3] [-rate 40] [-workers N] [-k 4] [-fluid]
 package main
 
 import (
@@ -24,8 +24,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "sweep concurrency (grid cells are independent simulations; <=1 runs sequentially, results are identical either way)")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
+	kArity := flag.Int("k", 4, "fat-tree arity (8 for the large-fabric sweep; background flows grow as k^2)")
+	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background engine: fold uncongested background elephants into analytic link reservations (order-of-magnitude fewer events; off = bit-identical packet-level simulation)")
 	flag.Parse()
-	cfg := experiments.NetLatencyConfig{DurationS: *duration, QueryRate: *rate, Seed: *seed, Workers: *workers}
+	cfg := experiments.NetLatencyConfig{DurationS: *duration, QueryRate: *rate, Seed: *seed, Workers: *workers, K: *kArity, Fluid: *fluid}
 
 	if *fig == "10" || *fig == "all" {
 		rows, err := experiments.Fig10AggregationLatency(

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	reproduce [-out results] [-quick]
+//	reproduce [-out results] [-quick] [-fluid]
 //
 // -quick (default true) uses the coarse training grids; -quick=false runs
 // the full 12-core configuration the EXPERIMENTS.md numbers come from
-// (several minutes).
+// (several minutes). -fluid runs the packet simulations (Fig 10/11) with
+// the hybrid fluid/packet background engine — much faster, tails within
+// the pinned tolerance; off keeps the bit-identical packet-only engine.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	quick := flag.Bool("quick", true, "coarse grids (fast); -quick=false reproduces EXPERIMENTS.md exactly")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "sweep/training concurrency (<=1 runs sequentially, figures are identical either way)")
+	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background engine for the packet simulations (order-of-magnitude fewer events; off = bit-identical packet-level figures)")
 	flag.Parse()
 	outDir = *out
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -116,7 +119,7 @@ func main() {
 
 	// Fig 10.
 	fmt.Println("Fig 10: aggregation latency (packet simulation)")
-	cfgNet := experiments.NetLatencyConfig{DurationS: dur, Workers: *workers}
+	cfgNet := experiments.NetLatencyConfig{DurationS: dur, Workers: *workers, Fluid: *fluid}
 	rows10, err := experiments.Fig10AggregationLatency([]int{0, 1, 2, 3}, []float64{0.05, 0.20, 0.30}, cfgNet)
 	if err != nil {
 		log.Fatal(err)

@@ -362,6 +362,39 @@ func (c *Cluster) Servers() []*server.Server { return c.srvs }
 // Stats returns aggregate query statistics.
 func (c *Cluster) Stats() *Stats { return &c.stats }
 
+// StatsInto snapshots the aggregate query statistics into out and returns
+// it (a nil out allocates one). The counters copy by value and each
+// latency tracker copies via metrics.Tracker.CopyInto, reusing out's
+// sample buffers — a periodic poller that snapshots into a retained Stats
+// allocates nothing once the buffers reach their high-water mark. Unlike
+// the pointer Stats() returns, the snapshot is decoupled from the live
+// accounting, so a monitor can quantile-query it while the simulation
+// keeps adding samples.
+func (c *Cluster) StatsInto(out *Stats) *Stats {
+	if out == nil {
+		out = &Stats{}
+	}
+	s := &c.stats
+	// Copy the trackers buffer-reusingly first, then overwrite every
+	// scalar field by value.
+	s.QueryLatency.CopyInto(&out.QueryLatency)
+	s.NetReqLat.CopyInto(&out.NetReqLat)
+	s.NetReplyLat.CopyInto(&out.NetReplyLat)
+	s.ServerLat.CopyInto(&out.ServerLat)
+	s.SlackGranted.CopyInto(&out.SlackGranted)
+	out.QueriesSubmitted = s.QueriesSubmitted
+	out.Queries = s.Queries
+	out.SLAMisses = s.SLAMisses
+	out.QueriesLost = s.QueriesLost
+	out.DroppedSub = s.DroppedSub
+	out.Retries = s.Retries
+	out.Timeouts = s.Timeouts
+	out.QueriesShed = s.QueriesShed
+	out.RejectedSub = s.RejectedSub
+	out.ShedTransitions = s.ShedTransitions
+	return out
+}
+
 // Pressure returns the admission pressure signal: the maximum per-server
 // queue length (queued + in service). A partition-aggregate query fans out
 // to every ISN, so the most loaded server bounds its feasibility.

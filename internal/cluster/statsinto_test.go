@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"eprons/internal/workload"
+)
+
+// TestStatsIntoEquivalence drives real queries through a cluster and pins
+// the StatsInto snapshot against the live Stats pointer: every scalar
+// counter and every tracker-derived statistic must agree, the snapshot
+// must decouple from subsequent activity, and a warm periodic snapshot
+// must allocate nothing.
+func TestStatsIntoEquivalence(t *testing.T) {
+	c, eng, _ := build(t, true, maxFreqFactory)
+	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := workload.NewSampler(d, 3)
+	stop := c.StartPoisson(func() float64 { return 60 }, sampler.Draw, 11)
+	eng.Run(1.0)
+	stop()
+	eng.RunAll()
+
+	live := c.Stats()
+	if live.Queries == 0 {
+		t.Fatal("no queries completed — test not exercising the stats plane")
+	}
+	snap := c.StatsInto(nil)
+	if snap.QueriesSubmitted != live.QueriesSubmitted || snap.Queries != live.Queries ||
+		snap.SLAMisses != live.SLAMisses || snap.QueriesLost != live.QueriesLost ||
+		snap.DroppedSub != live.DroppedSub || snap.Retries != live.Retries ||
+		snap.Timeouts != live.Timeouts || snap.QueriesShed != live.QueriesShed ||
+		snap.RejectedSub != live.RejectedSub || snap.ShedTransitions != live.ShedTransitions {
+		t.Fatalf("scalar counters diverge: snap %+v", snap)
+	}
+	type trkPair struct {
+		a, b interface{ Quantile(float64) float64 }
+	}
+	pairs := []trkPair{
+		{&snap.QueryLatency, &live.QueryLatency},
+		{&snap.NetReqLat, &live.NetReqLat},
+		{&snap.NetReplyLat, &live.NetReplyLat},
+		{&snap.ServerLat, &live.ServerLat},
+		{&snap.SlackGranted, &live.SlackGranted},
+	}
+	for i, p := range pairs {
+		for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+			if p.a.Quantile(q) != p.b.Quantile(q) {
+				t.Fatalf("tracker %d Quantile(%.2f) diverges", i, q)
+			}
+		}
+	}
+	if snap.QueryLatency.Mean() != live.QueryLatency.Mean() ||
+		snap.QueryLatency.Count() != live.QueryLatency.Count() {
+		t.Fatal("QueryLatency mean/count diverge")
+	}
+	if snap.Goodput() != live.Goodput() || snap.Orphans() != live.Orphans() {
+		t.Fatal("derived statistics diverge")
+	}
+
+	// Decoupling: more traffic moves the live stats, not the snapshot.
+	before := snap.QueryLatency.Count()
+	stop2 := c.StartPoisson(func() float64 { return 60 }, sampler.Draw, 12)
+	eng.Run(eng.Now() + 0.5)
+	stop2()
+	eng.RunAll()
+	if live.QueryLatency.Count() == before {
+		t.Fatal("second burst produced no samples")
+	}
+	if snap.QueryLatency.Count() != before {
+		t.Fatal("snapshot coupled to live stats")
+	}
+
+	// Reuse: snapshotting into a warm Stats allocates nothing.
+	c.StatsInto(snap)
+	snap.QueryLatency.Quantile(0.95) // warm the sorted view buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		c.StatsInto(snap)
+		_ = snap.QueryLatency.Quantile(0.95)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm StatsInto allocates %.1f/op, want 0", allocs)
+	}
+}

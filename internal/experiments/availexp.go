@@ -55,6 +55,12 @@ type AvailabilityConfig struct {
 	// offered >= carried bytes, engine bookkeeping) after each drained
 	// cell.
 	Audit bool
+	// Fluid enables netsim's hybrid fluid/packet background engine for
+	// the sweep's background elephants (Config.FluidBackground). Fault
+	// masks arrive through SetActive, which demotes affected sources to
+	// packet mode synchronously, so drop semantics under faults are
+	// unchanged.
+	Fluid bool
 	Seed  int64
 	// Workers bounds sweep concurrency; each fault-rate cell is an
 	// independent simulation with per-cell derived seeds, so results are
@@ -178,7 +184,9 @@ func availabilityCell(failRate float64, cfg AvailabilityConfig, seed int64) (Ava
 		return row, err
 	}
 	eng := sim.New()
-	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	ncfg := netsim.DefaultConfig()
+	ncfg.FluidBackground = cfg.Fluid
+	net := netsim.New(eng, ft.Graph, ncfg)
 
 	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
 	if err != nil {

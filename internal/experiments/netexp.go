@@ -190,11 +190,26 @@ type NetLatencyConfig struct {
 	// per-cell derived rng streams, so results are identical for every
 	// worker count. <= 1 runs the historical sequential loop.
 	Workers int
+	// K is the fat-tree arity (default 4, the paper's testbed). k=8 is
+	// the scale point the hybrid fluid engine unlocks: per-pod all-to-all
+	// background flow counts grow as k², so the packet-level event load
+	// explodes exactly where fluid folding pays most.
+	K int
+	// Fluid enables netsim's hybrid fluid/packet background engine
+	// (Config.FluidBackground): uncongested background elephants become
+	// analytic link reservations instead of packet events. Off by
+	// default — figure series are bit-identical to the packet-only
+	// simulator with it off, and within the pinned statistical
+	// tolerance (TestFig10FluidTolerance) with it on.
+	Fluid bool
 }
 
 func (c *NetLatencyConfig) fill() {
 	if c.DurationS <= 0 {
 		c.DurationS = 3
+	}
+	if c.K == 0 {
+		c.K = fattree.DefaultConfig().K
 	}
 	if c.QueryRate <= 0 {
 		c.QueryRate = 40
@@ -226,7 +241,9 @@ type Fig10Row struct {
 // latency statistics.
 func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil float64, cfg NetLatencyConfig, balance bool, scaleK float64) (*cluster.Stats, int, error) {
 	eng := sim.New()
-	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	ncfg := netsim.DefaultConfig()
+	ncfg.FluidBackground = cfg.Fluid
+	net := netsim.New(eng, ft.Graph, ncfg)
 	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
 	if err != nil {
 		return nil, 0, err
@@ -318,7 +335,9 @@ func Fig10AggregationLatency(levels []int, bgUtils []float64, cfg NetLatencyConf
 		cfg.QueryReserveBps = 1
 	}
 	cfg.fill()
-	ft, err := fattree.New(fattree.DefaultConfig())
+	ftCfg := fattree.DefaultConfig()
+	ftCfg.K = cfg.K
+	ft, err := fattree.New(ftCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +374,9 @@ type Fig11Row struct {
 // Fig 11(a)/(b)/(c) trade-off.
 func Fig11ScaleFactor(ks []int, bgUtils []float64, cfg NetLatencyConfig) ([]Fig11Row, error) {
 	cfg.fill()
-	ft, err := fattree.New(fattree.DefaultConfig())
+	ftCfg := fattree.DefaultConfig()
+	ftCfg.K = cfg.K
+	ft, err := fattree.New(ftCfg)
 	if err != nil {
 		return nil, err
 	}

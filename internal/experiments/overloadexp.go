@@ -61,6 +61,9 @@ type OverloadConfig struct {
 	SurgeResponse bool
 	// Audit runs the runtime invariant checks after each drained cell.
 	Audit bool
+	// Fluid enables netsim's hybrid fluid/packet background engine for
+	// the sweep's background elephants (Config.FluidBackground).
+	Fluid bool
 	Seed  int64
 	// Workers bounds sweep concurrency; each multiplier cell is an
 	// independent simulation with per-cell derived seeds, so results are
@@ -212,7 +215,9 @@ func overloadCell(mult float64, admission bool, cfg OverloadConfig, seed int64) 
 		return cell, err
 	}
 	eng := sim.New()
-	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	ncfg := netsim.DefaultConfig()
+	ncfg.FluidBackground = cfg.Fluid
+	net := netsim.New(eng, ft.Graph, ncfg)
 
 	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
 	if err != nil {

@@ -185,3 +185,66 @@ func TestInjectorNoScheduleIsNoOp(t *testing.T) {
 		t.Fatal("injector applied events without a schedule")
 	}
 }
+
+// TestInjectorMidFlightMaskDropsPacket: the preresolved-route staleness
+// regression at the faults layer. A message is in flight when the injector
+// fires a switch crash; the crash arrives through SetActive (the injector
+// re-applies the masked desired set), which bumps the network's route
+// epoch — the packet must observe the dead switch at its next hop and the
+// message must drop, exactly as it did when every hop probed the
+// ActiveSet directly.
+func TestInjectorMidFlightMaskDropsPacket(t *testing.T) {
+	ft := testTree(t)
+	eng := sim.New()
+	net := netsim.New(eng, ft.Graph, netsim.DefaultConfig())
+	inj := NewInjector(net)
+
+	// A cross-pod path transits edge→agg→core→agg→edge; crash its core
+	// switch while the first packet is on the wire.
+	path := ft.Paths(ft.Hosts[0], ft.Hosts[12])[0]
+	var core topology.NodeID = -1
+	for _, nid := range path {
+		if ft.Graph.Node(nid).Kind == topology.CoreSwitch {
+			core = nid
+			break
+		}
+	}
+	if core < 0 {
+		t.Fatal("no core switch on cross-pod path")
+	}
+	if err := net.SetRoute(1, path); err != nil {
+		t.Fatal(err)
+	}
+	// Per-hop timing: 1500 B at the fat-tree's link rate plus hop delay.
+	tx := 1500 * 8 / ft.Cfg.LinkCapacityBps
+	hopT := tx + net.Cfg.HopDelay
+	// The packet checks the core's liveness when it enqueues toward it at
+	// hop 2 (arrival at the aggregation switch, 2*hopT); crash the core at
+	// 1.5 hops so the already-launched packet finds it dark there.
+	sched := &Schedule{}
+	sched.Append(SwitchCrash(1.5*hopT, 10, core)...)
+	if err := inj.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered, dropped := false, false
+	eng.Schedule(0, func() {
+		net.SendMessage(1, 1500, func(float64) { delivered = true }, func() { dropped = true })
+	})
+	eng.Run(1)
+	if delivered || !dropped {
+		t.Fatalf("delivered=%v dropped=%v — mid-flight crash must drop the message", delivered, dropped)
+	}
+	if net.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want exactly the in-flight packet", net.Dropped)
+	}
+
+	// After the repair the same flow delivers again over the same
+	// preresolved route object (epoch revalidation, no reinstall).
+	eng.RunAll()
+	net.SendMessage(1, 1500, func(float64) { delivered = true }, nil)
+	eng.RunAll()
+	if !delivered {
+		t.Fatal("message after repair lost — stale off-mask outlived the repair")
+	}
+}

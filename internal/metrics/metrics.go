@@ -11,16 +11,27 @@ import (
 
 // Tracker accumulates samples and answers exact percentile queries. It is
 // intended for offline experiment analysis where sample counts are bounded.
+//
+// Samples stay in insertion order; quantile queries maintain a retained
+// sorted view incrementally — only the samples added since the last query
+// are sorted (a tail typically much smaller than the history) and merged
+// into the previous sorted view, with all three buffers reused across
+// queries. A steady-state query cycle (add a few, query, repeat) therefore
+// allocates nothing, where the previous implementation re-sorted the whole
+// sample set in place on every post-Add query.
 type Tracker struct {
 	samples []float64
-	sorted  bool
 	sum     float64
+	// sorted mirrors samples[:len(sorted)] in ascending order. tail and
+	// merged are the retained scratch buffers of the incremental merge.
+	sorted []float64
+	tail   []float64
+	merged []float64
 }
 
 // Add records one sample.
 func (t *Tracker) Add(v float64) {
 	t.samples = append(t.samples, v)
-	t.sorted = false
 	t.sum += v
 }
 
@@ -35,24 +46,55 @@ func (t *Tracker) Mean() float64 {
 	return t.sum / float64(len(t.samples))
 }
 
+// ensureSorted brings the retained sorted view up to date: sort the tail
+// of samples added since the last query, then merge it with the existing
+// sorted prefix. Both scratch buffers are retained and swapped, so the
+// amortized query cost is O(k log k + n) time and zero allocations once
+// the buffers have grown to the high-water mark.
+func (t *Tracker) ensureSorted() {
+	n := len(t.samples)
+	if len(t.sorted) == n {
+		return
+	}
+	tl := append(t.tail[:0], t.samples[len(t.sorted):]...)
+	sort.Float64s(tl)
+	t.tail = tl
+	if len(t.sorted) == 0 {
+		t.sorted = append(t.sorted[:0], tl...)
+		return
+	}
+	out := t.merged[:0]
+	i, j := 0, 0
+	for i < len(t.sorted) && j < len(tl) {
+		if t.sorted[i] <= tl[j] {
+			out = append(out, t.sorted[i])
+			i++
+		} else {
+			out = append(out, tl[j])
+			j++
+		}
+	}
+	out = append(out, t.sorted[i:]...)
+	out = append(out, tl[j:]...)
+	t.merged = t.sorted[:0] // old sorted becomes next merge scratch
+	t.sorted = out
+}
+
 // Quantile returns the nearest-rank q-quantile (q in (0,1]), or 0 with no
 // samples.
 func (t *Tracker) Quantile(q float64) float64 {
 	if len(t.samples) == 0 {
 		return 0
 	}
-	if !t.sorted {
-		sort.Float64s(t.samples)
-		t.sorted = true
-	}
-	idx := int(math.Ceil(q*float64(len(t.samples)))) - 1
+	t.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(t.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(t.samples) {
-		idx = len(t.samples) - 1
+	if idx >= len(t.sorted) {
+		idx = len(t.sorted) - 1
 	}
-	return t.samples[idx]
+	return t.sorted[idx]
 }
 
 // Max returns the largest sample, or 0 with no samples.
@@ -60,8 +102,8 @@ func (t *Tracker) Max() float64 {
 	if len(t.samples) == 0 {
 		return 0
 	}
-	if t.sorted {
-		return t.samples[len(t.samples)-1]
+	if len(t.sorted) == len(t.samples) {
+		return t.sorted[len(t.sorted)-1]
 	}
 	m := t.samples[0]
 	for _, v := range t.samples[1:] {
@@ -72,11 +114,21 @@ func (t *Tracker) Max() float64 {
 	return m
 }
 
-// Reset discards all samples.
+// Reset discards all samples, retaining every buffer's capacity.
 func (t *Tracker) Reset() {
 	t.samples = t.samples[:0]
-	t.sorted = false
+	t.sorted = t.sorted[:0]
 	t.sum = 0
+}
+
+// CopyInto overwrites dst with a snapshot of t's samples and running sum.
+// dst's buffers are reused — a periodic snapshot into a retained Tracker
+// allocates nothing once dst has grown to t's size. The sorted view is
+// rebuilt lazily on dst's first quantile query.
+func (t *Tracker) CopyInto(dst *Tracker) {
+	dst.samples = append(dst.samples[:0], t.samples...)
+	dst.sorted = dst.sorted[:0]
+	dst.sum = t.sum
 }
 
 // Window is a sliding-window tail-latency monitor: it retains samples whose
@@ -93,6 +145,10 @@ type Window struct {
 	Span  float64
 	times []float64
 	vals  []float64
+	// scratch is the retained sort buffer of Quantile, reused across
+	// queries so the per-query copy+sort allocates nothing in steady
+	// state.
+	scratch []float64
 }
 
 // NewWindow returns a monitor spanning span seconds.
@@ -140,9 +196,9 @@ func (w *Window) Quantile(q float64) float64 {
 	if len(w.vals) == 0 {
 		return 0
 	}
-	s := make([]float64, len(w.vals))
-	copy(s, w.vals)
+	s := append(w.scratch[:0], w.vals...)
 	sort.Float64s(s)
+	w.scratch = s
 	idx := int(math.Ceil(q*float64(len(s)))) - 1
 	if idx < 0 {
 		idx = 0

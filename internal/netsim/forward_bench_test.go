@@ -3,6 +3,7 @@ package netsim
 import (
 	"testing"
 
+	"eprons/internal/rng"
 	"eprons/internal/sim"
 	"eprons/internal/topology"
 )
@@ -57,6 +58,35 @@ func BenchmarkNetsimForward(b *testing.B) {
 	}
 	_ = delivered
 }
+
+// benchBackground drives one 300 Mbps background elephant over the 4-hop
+// chain and advances simulated time 10 ms per iteration, reporting the
+// event cost per op. The fluid sub-benchmark folds the elephant into an
+// analytic link reservation (one periodic tick instead of ~250 packet
+// events per op); the packet sub-benchmark is the exact baseline.
+func benchBackground(b *testing.B, fluidOn bool) {
+	cfg := DefaultConfig()
+	cfg.FluidBackground = fluidOn
+	eng, n := benchChain(b, cfg)
+	bg := n.StartBackground(1, func() float64 { return 0.3e9 }, rng.Derive(1, "bg-bench"))
+	eng.Run(0.05) // warm pools, reach steady state
+	start := eng.Processed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now() + 0.01)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Processed-start)/float64(b.N), "events/op")
+	bg.Stop()
+	eng.RunAll()
+	if n.Dropped != 0 {
+		b.Fatalf("unexpected drops at 30%% utilization: %d", n.Dropped)
+	}
+}
+
+func BenchmarkNetsimBackgroundPacket(b *testing.B) { benchBackground(b, false) }
+func BenchmarkNetsimBackgroundFluid(b *testing.B)  { benchBackground(b, true) }
 
 // BenchmarkNetsimForwardPriority is the same pipeline in two-class
 // strict-priority mode (the QoS ablation path).

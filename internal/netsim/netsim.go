@@ -8,6 +8,20 @@
 // Queueing delay emerges naturally from FIFO serialization, reproducing the
 // utilization-latency knee of the paper's Fig 1: latency is flat at low
 // utilization and explodes as a link approaches saturation.
+//
+// Two performance structures keep the hot path cheap:
+//
+//   - Route preresolution: routes are installed as per-hop directed-link
+//     records ([]topology.DirHop), so forwarding a packet is pure array
+//     arithmetic — no FindLink map lookup, no per-hop ActiveSet probe.
+//     Active-set changes bump an epoch; a route lazily revalidates its
+//     per-hop on/off mask the first time a packet touches it afterwards,
+//     preserving the exact drop semantics of per-hop activity checks.
+//
+//   - An optional hybrid fluid/packet background engine (see fluid.go):
+//     uncongested constant-bit-rate background flows fold into per-link
+//     analytic rate reservations instead of being simulated packet by
+//     packet, demoting back to packet mode near the congestion knee.
 package netsim
 
 import (
@@ -19,7 +33,8 @@ import (
 	"eprons/internal/topology"
 )
 
-// Config sets the fixed per-element delays.
+// Config sets the fixed per-element delays and the optional fluid
+// background fast path.
 type Config struct {
 	// PacketBytes is the MTU used to segment messages and background
 	// traffic (default 1500).
@@ -39,6 +54,28 @@ type Config struct {
 	// mode exists for the "why not QoS instead of the scale factor K?"
 	// ablation. Incompatible with QueueLimitBytes.
 	PriorityQueueing bool
+	// FluidBackground enables the hybrid fluid/packet fast path for
+	// background sources started with StartBackground: while every
+	// directed link on a source's route stays below the knee, the source
+	// is folded into an analytic per-link rate reservation (foreground
+	// packets transmit at the residual capacity) instead of being
+	// simulated packet by packet. Links whose total offered background
+	// rate crosses FluidKneeFrac of capacity demote to packet mode so
+	// drop/contention semantics near saturation are unchanged. Off by
+	// default — with it off, simulation output is bit-identical to the
+	// pre-fluid implementation. Ignored under PriorityQueueing (the QoS
+	// ablation is packet-exact by construction).
+	FluidBackground bool
+	// FluidKneeFrac is the demotion threshold as a fraction of link
+	// capacity (default 0.8, clamped to at most 0.95 so the residual
+	// capacity seen by foreground packets stays strictly positive).
+	// Promotion back to fluid mode uses a 0.9×knee hysteresis band.
+	FluidKneeFrac float64
+	// FluidUpdateS is the period of the fluid reevaluation tick that
+	// re-polls source rates and re-applies knee demotion/promotion
+	// (default 10 ms — the same cadence at which a paused packet-mode
+	// source re-polls its rate callback).
+	FluidUpdateS float64
 }
 
 // DefaultConfig returns MiniNet-like defaults.
@@ -53,6 +90,15 @@ func (c *Config) fill() {
 	if c.HopDelay < 0 {
 		c.HopDelay = 0
 	}
+	if c.FluidKneeFrac <= 0 {
+		c.FluidKneeFrac = 0.8
+	}
+	if c.FluidKneeFrac > 0.95 {
+		c.FluidKneeFrac = 0.95
+	}
+	if c.FluidUpdateS <= 0 {
+		c.FluidUpdateS = 10e-3
+	}
 }
 
 // linkState is the FIFO server for one link direction. busyUntil is the
@@ -61,6 +107,13 @@ func (c *Config) fill() {
 type linkState struct {
 	busyUntil float64
 	bytes     int64 // forwarded bytes since the last stats reset
+
+	// Fluid-background state: fluidBps is the analytic background rate
+	// currently reserved on this direction (foreground packets transmit
+	// at capacity − fluidBps); demoted is the sticky knee flag — while
+	// set, sources routed across this direction run in packet mode.
+	fluidBps float64
+	demoted  bool
 
 	// Priority mode state: two-class queues of pooled packets, indexed by
 	// a head cursor so dequeues reuse the backing arrays instead of
@@ -77,8 +130,23 @@ type linkState struct {
 	onTxDone  func()
 }
 
+// route is one installed path, preresolved to per-hop directed-link
+// records. epoch tracks the network's active-set epoch the hop mask was
+// computed against; a packet stepping onto a stale route revalidates it
+// first (off[i] == true means hop i's link or arrival node is inactive).
+// In-flight packets pin the route object they launched on, so replacing a
+// flow's route mid-flight (SetRoute) does not redirect packets already in
+// the fabric — exactly the semantics of carrying the path by value.
+type route struct {
+	path   topology.Path
+	hops   []topology.DirHop
+	epoch  uint64
+	off    []bool
+	numOff int
+}
+
 // packet is one in-flight MTU-or-smaller unit moving hop by hop along its
-// path. Packets are pooled on the Network: each carries a prebound step
+// route. Packets are pooled on the Network: each carries a prebound step
 // closure (allocated once, when the packet object is first created) that
 // re-enters the forwarder at packet.hop, so per-hop forwarding schedules an
 // existing func value instead of allocating a fresh capturing closure per
@@ -87,7 +155,7 @@ type linkState struct {
 type packet struct {
 	n     *Network
 	fid   flow.ID
-	path  topology.Path
+	rt    *route
 	bytes int
 	hop   int
 	hi    bool
@@ -101,12 +169,18 @@ type Network struct {
 	eng    *sim.Engine
 	g      *topology.Graph
 	active *topology.ActiveSet
+	// activeEpoch increments on every SetActive; routes lazily revalidate
+	// their per-hop on/off masks against it.
+	activeEpoch uint64
 	// activeFilter, when set, transforms every active set installed via
 	// SetActive before it takes effect (fault injection masks failed
 	// elements this way; see SetActiveFilter).
 	activeFilter func(*topology.ActiveSet) *topology.ActiveSet
-	routes       map[flow.ID]topology.Path
+	routes       map[flow.ID]*route
 	links        []linkState
+	// dirCap caches each directed link's capacity so the forwarder divides
+	// by an array element instead of chasing Graph.Link metadata per hop.
+	dirCap []float64
 	// flowBytes counts bytes accepted onto each flow's first hop since
 	// the last ResetStats — the per-flow counters the SDN controller
 	// polls. Packets dropped at hop 0 (inactive ingress or full queue)
@@ -115,6 +189,10 @@ type Network struct {
 	// highPrio marks flows served from the high-priority class when
 	// Cfg.PriorityQueueing is on.
 	highPrio map[flow.ID]bool
+
+	// fluid carries the hybrid fluid/packet background engine state; nil
+	// until the first StartBackground under Cfg.FluidBackground.
+	fluid *fluidState
 
 	// pktFree and msgFree pool the per-packet and per-message structs of
 	// the forwarding pipeline. Both are bounded by the in-flight high-water
@@ -135,7 +213,9 @@ type Network struct {
 	// first hop. Both are cumulative — ResetStats does NOT clear them —
 	// so the audit invariant OfferedBytes >= CarriedBytes holds for the
 	// whole run: the network can refuse offered traffic but can never
-	// carry traffic nobody offered.
+	// carry traffic nobody offered. Fluid-mode background bytes accrue to
+	// both (a fluid source is by construction routed and uncongested, so
+	// its bytes are always carried).
 	OfferedBytes int64
 	CarriedBytes int64
 	// MsgDropped counts messages lost at the message level: a message is
@@ -143,20 +223,32 @@ type Network struct {
 	// message none of whose packets dropped is the only kind reported
 	// delivered (see SendMessage).
 	MsgDropped int64
+	// FluidDemotions and FluidPromotions count link-direction knee
+	// transitions of the fluid background engine (0 unless
+	// Cfg.FluidBackground).
+	FluidDemotions  int64
+	FluidPromotions int64
 }
 
 // New creates a network on g driven by eng, with everything active.
 func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Network {
 	cfg.fill()
+	dirCap := make([]float64, 2*g.NumLinks())
+	for _, l := range g.Links() {
+		dirCap[2*int(l.ID)] = l.CapacityBps
+		dirCap[2*int(l.ID)+1] = l.CapacityBps
+	}
 	return &Network{
-		Cfg:       cfg,
-		eng:       eng,
-		g:         g,
-		active:    topology.NewActiveSet(g),
-		routes:    make(map[flow.ID]topology.Path),
-		links:     make([]linkState, 2*g.NumLinks()),
-		flowBytes: make(map[flow.ID]int64),
-		highPrio:  make(map[flow.ID]bool),
+		Cfg:         cfg,
+		eng:         eng,
+		g:           g,
+		active:      topology.NewActiveSet(g),
+		activeEpoch: 1, // routes start at epoch 0 → first touch validates
+		routes:      make(map[flow.ID]*route),
+		links:       make([]linkState, 2*g.NumLinks()),
+		dirCap:      dirCap,
+		flowBytes:   make(map[flow.ID]int64),
+		highPrio:    make(map[flow.ID]bool),
 	}
 }
 
@@ -167,15 +259,23 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 func (n *Network) Graph() *topology.Graph { return n.g }
 
 // SetActive installs the powered subnet. Packets in flight are not
-// interrupted; future hops onto inactive elements drop. When an active
-// filter is installed (fault injection), the filter sees the requested set
-// and the network runs on whatever the filter returns.
+// interrupted; future hops onto inactive elements drop (each preresolved
+// route revalidates its hop mask on first use after the epoch bump). When
+// an active filter is installed (fault injection), the filter sees the
+// requested set and the network runs on whatever the filter returns.
 func (n *Network) SetActive(a *topology.ActiveSet) {
 	a = a.Clone()
 	if n.activeFilter != nil {
 		a = n.activeFilter(a)
 	}
 	n.active = a
+	n.activeEpoch++
+	if n.fluid != nil && len(n.fluid.srcs) > 0 {
+		// Route activity feeds fluid eligibility: a source whose route
+		// lost an element must demote to packet mode immediately so its
+		// packets hit the dead hop and drop, exactly as in packet mode.
+		n.fluidReevaluate()
+	}
 }
 
 // SetActiveFilter installs (or clears, with nil) a transform applied to
@@ -201,19 +301,30 @@ func (n *Network) SetPriority(id flow.ID, hi bool) {
 	}
 }
 
-// SetRoute installs the path for a flow. The path must be valid.
+// SetRoute installs the path for a flow, preresolved to directed-link
+// records. The path must be valid. In-flight packets of the flow keep the
+// route object they launched on.
 func (n *Network) SetRoute(id flow.ID, p topology.Path) error {
 	if !p.Valid(n.g) {
 		return fmt.Errorf("netsim: invalid route for flow %d", id)
 	}
-	n.routes[id] = p
+	hops := p.ResolveDirs(n.g)
+	n.routes[id] = &route{path: p, hops: hops, off: make([]bool, len(hops))}
+	if n.fluid != nil && n.fluid.byFid[id] != nil {
+		// A fluid-managed source just got rerouted: its reservation must
+		// move (and its eligibility may change) right now.
+		n.fluidReevaluate()
+	}
 	return nil
 }
 
 // Route returns a flow's installed path.
 func (n *Network) Route(id flow.ID) (topology.Path, bool) {
-	p, ok := n.routes[id]
-	return p, ok
+	r, ok := n.routes[id]
+	if !ok {
+		return nil, false
+	}
+	return r.path, true
 }
 
 // InstallRoutes installs every path in the map (the controller's rule
@@ -225,6 +336,22 @@ func (n *Network) InstallRoutes(paths map[flow.ID]topology.Path) error {
 		}
 	}
 	return nil
+}
+
+// revalidate recomputes a route's per-hop on/off mask against the current
+// active set. Called lazily from the forwarders when the route's epoch is
+// stale, and eagerly by the fluid engine when deciding eligibility.
+func (n *Network) revalidate(r *route) {
+	r.numOff = 0
+	for i := range r.hops {
+		h := &r.hops[i]
+		on := n.active.LinkOn(h.Link) && n.active.NodeOn(h.To)
+		r.off[i] = !on
+		if !on {
+			r.numOff++
+		}
+	}
+	r.epoch = n.activeEpoch
 }
 
 // message tracks the delivery state of one multi-packet message so that
@@ -277,10 +404,10 @@ func (n *Network) acquirePacket() *packet {
 	return p
 }
 
-// releasePacket returns a terminated packet to the pool, dropping the path
+// releasePacket returns a terminated packet to the pool, dropping the route
 // and message references (the step closure stays bound).
 func (n *Network) releasePacket(p *packet) {
-	p.path = nil
+	p.rt = nil
 	p.msg = nil
 	n.pktFree = append(n.pktFree, p)
 }
@@ -294,8 +421,8 @@ func (n *Network) releasePacket(p *packet) {
 // delivered. Packet-level drops are counted in Dropped, message-level
 // drops in MsgDropped.
 func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
-	p, ok := n.routes[fid]
-	if !ok || len(p) < 2 {
+	rt, ok := n.routes[fid]
+	if !ok || len(rt.path) < 2 {
 		n.OfferedBytes += int64(size)
 		n.Dropped++
 		n.MsgDropped++
@@ -324,17 +451,17 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 			pkt = remaining
 		}
 		remaining -= pkt
-		n.launch(fid, p, pkt, hi, m)
+		n.launch(fid, rt, pkt, hi, m)
 	}
 }
 
-// launch dispatches one packet onto hop 0 of path p. Hop 0 is processed
+// launch dispatches one packet onto hop 0 of route rt. Hop 0 is processed
 // synchronously (enqueue onto the first link happens at the send instant);
 // later hops arrive via the packet's prebound step event.
-func (n *Network) launch(fid flow.ID, p topology.Path, bytes int, hi bool, m *message) {
+func (n *Network) launch(fid flow.ID, rt *route, bytes int, hi bool, m *message) {
 	pk := n.acquirePacket()
 	pk.fid = fid
-	pk.path = p
+	pk.rt = rt
 	pk.bytes = bytes
 	pk.hop = 0
 	pk.hi = hi
@@ -373,8 +500,10 @@ func (n *Network) finishPacket(pk *packet, delivered bool) {
 }
 
 // stepPacket is the single arrival entry point for both queueing modes: the
-// packet has just reached pk.path[pk.hop] and either terminates there or is
-// enqueued onto the next link.
+// packet has just reached hop pk.hop of its route and either terminates
+// there or is enqueued onto the next link. The route is preresolved —
+// forwarding is array arithmetic on the hop records, with a lazy per-route
+// revalidation when the active set has changed since the route last looked.
 func (n *Network) stepPacket(pk *packet) {
 	if n.Cfg.PriorityQueueing {
 		n.stepPQ(pk)
@@ -386,22 +515,27 @@ func (n *Network) stepPacket(pk *packet) {
 		// hop counts, whether or not the network accepts it.
 		n.OfferedBytes += int64(pk.bytes)
 	}
-	if hop >= len(pk.path)-1 {
+	r := pk.rt
+	if hop >= len(r.hops) {
 		n.finishPacket(pk, true)
 		return
 	}
-	from, to := pk.path[hop], pk.path[hop+1]
-	lid, ok := n.g.FindLink(from, to)
-	if !ok {
-		panic("netsim: route hop without link (route validated at install)")
+	if r.epoch != n.activeEpoch {
+		n.revalidate(r)
 	}
-	l := n.g.Link(lid)
-	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
+	if r.off[hop] {
 		n.Dropped++
 		n.finishPacket(pk, false)
 		return
 	}
-	ls := &n.links[l.DirIndex(from)]
+	h := &r.hops[hop]
+	ls := &n.links[h.Dir]
+	capBps := n.dirCap[h.Dir]
+	if ls.fluidBps > 0 {
+		// Foreground traffic sees the residual capacity left by the
+		// analytic background reservation on this direction.
+		capBps -= ls.fluidBps
+	}
 	now := n.eng.Now()
 	startTx := now
 	if ls.busyUntil > startTx {
@@ -409,7 +543,7 @@ func (n *Network) stepPacket(pk *packet) {
 	}
 	if n.Cfg.QueueLimitBytes > 0 {
 		// Backlog in bytes implied by the time the queue needs to drain.
-		backlog := (startTx - now) * l.CapacityBps / 8
+		backlog := (startTx - now) * capBps / 8
 		if int(backlog)+pk.bytes > n.Cfg.QueueLimitBytes {
 			n.Dropped++
 			n.TailDrops++
@@ -424,7 +558,7 @@ func (n *Network) stepPacket(pk *packet) {
 		n.flowBytes[pk.fid] += int64(pk.bytes)
 		n.CarriedBytes += int64(pk.bytes)
 	}
-	txTime := float64(pk.bytes) * 8 / l.CapacityBps
+	txTime := float64(pk.bytes) * 8 / capBps
 	depart := startTx + txTime
 	ls.busyUntil = depart
 	ls.bytes += int64(pk.bytes)
@@ -435,18 +569,37 @@ func (n *Network) stepPacket(pk *packet) {
 // Background is a handle on a running background packet source.
 type Background struct {
 	stop bool
+	n    *Network
+	src  *fluidSource
 }
 
-// Stop halts the source after its next scheduled packet.
-func (b *Background) Stop() { b.stop = true }
+// Stop halts the source after its next scheduled packet. A fluid-managed
+// source is deregistered immediately: its analytic bytes accrue up to now
+// and its link reservations are released.
+func (b *Background) Stop() {
+	b.stop = true
+	if b.n != nil && b.src != nil {
+		b.n.stopFluidSource(b.src)
+		b.src = nil
+	}
+}
 
 // StartBackground launches a Poisson packet source on the route of fid.
 // rate is polled before each packet and returns the current offered load in
 // bits per second; returning 0 pauses the source (re-polled every 10ms).
 // Packets that find the route inactive are dropped and counted.
+//
+// Under Cfg.FluidBackground the source registers with the hybrid engine
+// instead: while its route is fully active and every directed link on it is
+// below the knee, the source contributes an analytic rate reservation and
+// emits no packet events; otherwise it runs the exact packet loop below.
 func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.Stream) *Background {
 	b := &Background{}
 	bits := float64(n.Cfg.PacketBytes) * 8
+	if n.fluidEnabled() {
+		n.startFluidBackground(b, fid, rate, stream, bits)
+		return b
+	}
 	// Exactly two closures for the lifetime of the source (arm draws the
 	// next arrival, fire emits a packet); every packet reuses them, so the
 	// steady-state source allocates nothing.
@@ -466,14 +619,14 @@ func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.
 		if b.stop {
 			return
 		}
-		if p, ok := n.routes[fid]; ok {
+		if rt, ok := n.routes[fid]; ok {
 			// flowBytes accounting happens at hop-0 acceptance inside the
 			// forwarders, so dropped-at-ingress packets are not mistaken
 			// for carried traffic. Background packets carry no message
 			// (msg == nil): no delivery accounting.
 			pk := n.acquirePacket()
 			pk.fid = fid
-			pk.path = p
+			pk.rt = rt
 			pk.bytes = n.Cfg.PacketBytes
 			pk.hop = 0
 			pk.hi = n.highPrio[fid]
@@ -502,6 +655,7 @@ func (n *Network) LinkBytesInto(out map[topology.LinkID]int64) map[topology.Link
 	} else {
 		clear(out)
 	}
+	n.fluidAccrueAll()
 	for i := range n.links {
 		if n.links[i].bytes != 0 {
 			out[topology.LinkID(i/2)] += n.links[i].bytes
@@ -529,6 +683,7 @@ func (n *Network) LinkUtilizationInto(out map[topology.LinkID]float64, window fl
 	if window <= 0 {
 		return out
 	}
+	n.fluidAccrueAll()
 	for i := range n.links {
 		b := n.links[i].bytes
 		if b == 0 {
@@ -561,6 +716,7 @@ func (n *Network) FlowRatesInto(out map[flow.ID]float64, window float64) map[flo
 	if window <= 0 {
 		return out
 	}
+	n.fluidAccrueAll()
 	for id, b := range n.flowBytes {
 		out[id] = float64(b) * 8 / window
 	}
@@ -568,8 +724,11 @@ func (n *Network) FlowRatesInto(out map[flow.ID]float64, window float64) map[flo
 }
 
 // ResetStats zeroes the per-link and per-flow byte counters (the
-// controller's 2-second stats pull does this after reading).
+// controller's 2-second stats pull does this after reading). Fluid-mode
+// background bytes accrue first, so a read-then-reset cycle never loses
+// analytic bytes.
 func (n *Network) ResetStats() {
+	n.fluidAccrueAll()
 	for i := range n.links {
 		n.links[i].bytes = 0
 	}
@@ -585,22 +744,20 @@ func (n *Network) stepPQ(pk *packet) {
 		// Mirror the FIFO forwarder's offered-byte accounting.
 		n.OfferedBytes += int64(pk.bytes)
 	}
-	if hop >= len(pk.path)-1 {
+	r := pk.rt
+	if hop >= len(r.hops) {
 		n.finishPacket(pk, true)
 		return
 	}
-	from, to := pk.path[hop], pk.path[hop+1]
-	lid, ok := n.g.FindLink(from, to)
-	if !ok {
-		panic("netsim: route hop without link (route validated at install)")
+	if r.epoch != n.activeEpoch {
+		n.revalidate(r)
 	}
-	l := n.g.Link(lid)
-	if !n.active.LinkOn(lid) || !n.active.NodeOn(to) {
+	if r.off[hop] {
 		n.Dropped++
 		n.finishPacket(pk, false)
 		return
 	}
-	di := l.DirIndex(from)
+	di := r.hops[hop].Dir
 	ls := &n.links[di]
 	if hop == 0 {
 		// Mirror the FIFO forwarder: flow counters tick at hop-0
@@ -657,8 +814,7 @@ func (n *Network) servePQ(di int) {
 		d := di
 		ls.onTxDone = func() { n.pqTxDone(d) }
 	}
-	l := n.g.Link(topology.LinkID(di / 2))
-	tx := float64(pk.bytes) * 8 / l.CapacityBps
+	tx := float64(pk.bytes) * 8 / n.dirCap[di]
 	n.eng.After(tx, ls.onTxDone)
 }
 

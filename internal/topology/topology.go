@@ -191,6 +191,35 @@ func (p Path) DirLinks(g *Graph) []int {
 	return out
 }
 
+// DirHop is one preresolved hop of a path: the directed-link index the hop
+// transmits on (see Link.DirIndex), the undirected link it belongs to, and
+// the node the hop arrives at. Resolving a path to DirHops once at route
+// installation lets the packet pipeline step through pure array arithmetic
+// instead of a FindLink map lookup per hop per packet.
+type DirHop struct {
+	Dir  int    // directed-link index (2*Link.ID or 2*Link.ID+1)
+	Link LinkID // undirected link the hop rides
+	To   NodeID // node the hop arrives at
+}
+
+// ResolveDirs resolves a path to its per-hop directed-link records. It
+// panics if consecutive nodes are not adjacent, which always indicates a
+// routing bug (same contract as Links/DirLinks).
+func (p Path) ResolveDirs(g *Graph) []DirHop {
+	if len(p) < 2 {
+		return nil
+	}
+	out := make([]DirHop, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		id, ok := g.FindLink(p[i], p[i+1])
+		if !ok {
+			panic(fmt.Sprintf("topology: path hop %s-%s has no link", g.nodes[p[i]].Name, g.nodes[p[i+1]].Name))
+		}
+		out = append(out, DirHop{Dir: g.links[id].DirIndex(p[i]), Link: id, To: p[i+1]})
+	}
+	return out
+}
+
 // Valid reports whether every consecutive pair of path nodes is adjacent.
 func (p Path) Valid(g *Graph) bool {
 	for i := 0; i+1 < len(p); i++ {
