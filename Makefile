@@ -23,9 +23,11 @@
 #                     and print benchstat-style deltas between the two runs
 #                     (a noise-floor check); or compare two recorded runs:
 #                     make benchcmp OLD=old.txt NEW=new.txt
-#   make race       — just the race-detector subset.
+#   make race       — just the race-detector subset, plus a race-enabled
+#                     -shards 4 smoke sweep of the pod-sharded engine.
 #   make fuzz-short — a bounded run of the native fuzz targets (surge
-#                     multiplier safety, admission hysteresis invariants);
+#                     multiplier safety, admission hysteresis invariants,
+#                     sharded-vs-sequential barrier equivalence);
 #                     FUZZTIME=30s lengthens each target's budget.
 
 GO ?= go
@@ -34,7 +36,8 @@ GOFMT ?= gofmt
 
 # The tier-1 benchmark suite tracked across PRs: scheduler hot path,
 # packet pipeline, background-elephant cost (packet vs fluid), FFT/DVFS
-# kernels, and the Fig 10 (packet, fluid, k=8) and Fig 15 end-to-end sweeps.
+# kernels, and the Fig 10 (packet, fluid, k=8, k=16 sequential/sharded)
+# and Fig 15 end-to-end sweeps.
 BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkNetsimBackground|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution|BenchmarkFig10|BenchmarkFig15DiurnalSavings'
 BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
 BENCHCOUNT ?= 3
@@ -61,6 +64,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments ./internal/metrics ./internal/topology
+	$(GO) run -race ./cmd/netsweep -fig 10 -duration 0.2 -shards 4
 
 # Each `go test -fuzz` invocation accepts exactly one target, so the
 # corpus-growing runs go one per line.
@@ -68,6 +72,7 @@ fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzSurgeMultiplier -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run XXX -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run XXX -fuzz FuzzFluidPromoteDemote -fuzztime $(FUZZTIME) ./internal/netsim
+	$(GO) test -run XXX -fuzz FuzzShardBarrier -fuzztime $(FUZZTIME) ./internal/netsim
 
 bench:
 	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS)

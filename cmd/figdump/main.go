@@ -11,12 +11,21 @@
 //	go run ./cmd/figdump after.txt
 //	diff before.txt after.txt   # must be empty
 //
+// The same contract covers the pod-sharded parallel engine: figdump output
+// is identical for every -shards value (Fig 13/15 are planner-model
+// computations with no packet simulation, so only Fig 10/11 exercise it):
+//
+//	go run ./cmd/figdump -shards 1 a.txt
+//	go run ./cmd/figdump -shards 4 b.txt
+//	diff a.txt b.txt            # must be empty
+//
 // The sweep shapes are deliberately small (the benchmark configurations,
 // a few seconds of CPU) — this is a regression tripwire, not a paper
 // reproduction; use cmd/netsweep and cmd/joint for the full figures.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,8 +33,8 @@ import (
 	"eprons/internal/experiments"
 )
 
-func dump(w io.Writer) error {
-	cfg := experiments.NetLatencyConfig{DurationS: 1.5}
+func dump(w io.Writer, shards int) error {
+	cfg := experiments.NetLatencyConfig{DurationS: 1.5, Shards: shards}
 	rows10, err := experiments.Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
 	if err != nil {
 		return err
@@ -60,13 +69,15 @@ func dump(w io.Writer) error {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: figdump <out-file|->")
+	shards := flag.Int("shards", 1, "pod shards for the packet simulations (1 = sequential engine; output is identical for every value)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: figdump [-shards n] <out-file|->")
 		os.Exit(2)
 	}
 	var w io.Writer = os.Stdout
-	if os.Args[1] != "-" {
-		f, err := os.Create(os.Args[1])
+	if flag.Arg(0) != "-" {
+		f, err := os.Create(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figdump:", err)
 			os.Exit(1)
@@ -74,7 +85,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := dump(w); err != nil {
+	if err := dump(w, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "figdump:", err)
 		os.Exit(1)
 	}

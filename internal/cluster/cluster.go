@@ -244,6 +244,10 @@ type Cluster struct {
 	agg    *rng.Stream
 	nextID int64
 
+	// sh carries the sharded-execution state (see shard.go); nil in
+	// sequential mode, which keeps every sequential code path untouched.
+	sh *clusterSharding
+
 	// adm is the admission state machine (Config.AdmissionControl); its
 	// zero value with admission disabled is never consulted.
 	adm Admission
@@ -273,6 +277,11 @@ func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, er
 		agg:   rng.Derive(cfg.Seed, "aggregator"),
 		adm:   cfg.Admission,
 	}
+	sh, err := initSharding(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.sh = sh
 	queueLimit := 0
 	if cfg.AdmissionControl {
 		// Bounded per-server queues: the ISN-side backstop is the same
@@ -281,7 +290,7 @@ func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, er
 	}
 	for i := range hosts {
 		i := i
-		srv, err := server.New(c.eng, server.Config{
+		srv, err := server.New(c.hostEngine(i), server.Config{
 			Cores:   cfg.CoresPerServer,
 			Alpha:   cfg.Alpha,
 			FMaxGHz: power.FMaxGHz,
@@ -359,8 +368,16 @@ func (c *Cluster) InstallShortestRoutes(active *topology.ActiveSet) error {
 // Servers exposes the per-host servers (for stats).
 func (c *Cluster) Servers() []*server.Server { return c.srvs }
 
-// Stats returns aggregate query statistics.
-func (c *Cluster) Stats() *Stats { return &c.stats }
+// Stats returns aggregate query statistics. In sharded mode the merged
+// view is rebuilt from the per-shard cells (deterministically — see
+// shard.go) on every call and must only be read at quiesced points.
+func (c *Cluster) Stats() *Stats {
+	if c.sh == nil {
+		return &c.stats
+	}
+	c.mergeStats(&c.sh.merged)
+	return &c.sh.merged
+}
 
 // StatsInto snapshots the aggregate query statistics into out and returns
 // it (a nil out allocates one). The counters copy by value and each
@@ -375,6 +392,10 @@ func (c *Cluster) StatsInto(out *Stats) *Stats {
 		out = &Stats{}
 	}
 	s := &c.stats
+	if c.sh != nil {
+		c.mergeStats(&c.sh.merged)
+		s = &c.sh.merged
+	}
 	// Copy the trackers buffer-reusingly first, then overwrite every
 	// scalar field by value.
 	s.QueryLatency.CopyInto(&out.QueryLatency)
@@ -545,8 +566,13 @@ func (c *Cluster) onRequestArrived(sq *subQuery, gen int, netLat float64) {
 	if sq.resolved || gen != sq.gen {
 		return // attempt abandoned while the request was in flight
 	}
-	now := c.eng.Now()
-	c.stats.NetReqLat.Add(netLat)
+	now := c.nowAt(sq.isn)
+	if c.sh == nil {
+		c.stats.NetReqLat.Add(netLat)
+	} else {
+		cell := c.cellOf(sq.isn)
+		cell.netReqLat = append(cell.netReqLat, tsample{now, netLat})
+	}
 	reqBudget := c.Cfg.NetworkBudget * c.Cfg.RequestBudgetFrac
 	if c.Cfg.FullBudgetSlack {
 		reqBudget = c.Cfg.NetworkBudget
@@ -558,10 +584,14 @@ func (c *Cluster) onRequestArrived(sq *subQuery, gen int, netLat float64) {
 			slack = 0
 		}
 	}
-	c.stats.SlackGranted.Add(slack)
-	c.nextID++
+	if c.sh == nil {
+		c.stats.SlackGranted.Add(slack)
+	} else {
+		cell := c.cellOf(sq.isn)
+		cell.slackGranted = append(cell.slackGranted, tsample{now, slack})
+	}
 	req := &server.Request{
-		ID:             c.nextID,
+		ID:             c.nextRequestID(sq.isn),
 		Arrival:        now,
 		BaseServiceS:   sq.base,
 		ServerDeadline: now + c.Cfg.ServerBudget,
@@ -577,9 +607,14 @@ func (c *Cluster) onReplyArrived(sq *subQuery, gen int, replyLat float64) {
 	}
 	sq.resolved = true
 	c.disarmTimer(sq)
-	c.stats.NetReplyLat.Add(replyLat)
+	if c.sh == nil {
+		c.stats.NetReplyLat.Add(replyLat)
+	} else {
+		cell := c.cellOf(sq.aggIdx)
+		cell.netReplyLat = append(cell.netReplyLat, tsample{c.nowAt(sq.aggIdx), replyLat})
+	}
 	sq.q.done++
-	c.maybeFinish(sq.q)
+	c.maybeFinish(sq)
 }
 
 // onDrop handles the simulator's message-level drop notification for
@@ -624,7 +659,7 @@ func (c *Cluster) failAttempt(sq *subQuery, fromTimeout bool) {
 	}
 	sq.resolved = true
 	sq.q.failed++
-	c.maybeFinish(sq.q)
+	c.maybeFinish(sq)
 }
 
 // disarmTimer cancels a pending retry timer, if armed.
@@ -635,20 +670,37 @@ func (c *Cluster) disarmTimer(sq *subQuery) {
 	}
 }
 
-// maybeFinish closes the query once every sub-query has resolved.
-func (c *Cluster) maybeFinish(q *query) {
+// maybeFinish closes the query once every sub-query has resolved. In
+// sharded mode it runs in the aggregator's shard (reply arrival) — or, for
+// failed attempts, wherever the failure resolved, which the sharded
+// envelope excludes — so completion stats land in the aggregator's cell.
+func (c *Cluster) maybeFinish(sq *subQuery) {
+	q := sq.q
 	if q.done+q.failed != q.total {
 		return
 	}
 	if q.failed > 0 {
-		c.stats.QueriesLost++
+		if c.sh == nil {
+			c.stats.QueriesLost++
+		} else {
+			c.cellOf(sq.aggIdx).queriesLost++
+		}
 		return
 	}
-	lat := c.eng.Now() - q.start
-	c.stats.Queries++
-	c.stats.QueryLatency.Add(lat)
-	if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
-		c.stats.SLAMisses++
+	lat := c.nowAt(sq.aggIdx) - q.start
+	if c.sh == nil {
+		c.stats.Queries++
+		c.stats.QueryLatency.Add(lat)
+		if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
+			c.stats.SLAMisses++
+		}
+	} else {
+		cell := c.cellOf(sq.aggIdx)
+		cell.queries++
+		cell.queryLat = append(cell.queryLat, tsample{c.nowAt(sq.aggIdx), lat})
+		if lat > c.Cfg.ServerBudget+c.Cfg.NetworkBudget+1e-12 {
+			cell.slaMisses++
+		}
 	}
 	if c.OnQueryComplete != nil {
 		c.OnQueryComplete(lat)
@@ -679,7 +731,13 @@ func (c *Cluster) enqueueWithReply(sq *subQuery, gen int, req *server.Request) {
 		if sq.resolved || gen != sq.gen {
 			return // abandoned while queued or in service
 		}
-		c.stats.ServerLat.Add(c.eng.Now() - arrival)
+		now := c.nowAt(isn)
+		if c.sh == nil {
+			c.stats.ServerLat.Add(now - arrival)
+		} else {
+			cell := c.cellOf(isn)
+			cell.serverLat = append(cell.serverLat, tsample{now, now - arrival})
+		}
 		c.net.SendMessage(c.FlowID(isn, sq.aggIdx), c.Cfg.ReplyBytes,
 			func(replyLat float64) { c.onReplyArrived(sq, gen, replyLat) },
 			func() { c.onDrop(sq, gen) })

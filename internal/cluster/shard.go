@@ -1,0 +1,202 @@
+package cluster
+
+// Sharded execution of the partition-aggregate cluster.
+//
+// When the network runs sharded (netsim.Network.Shard), the cluster places
+// each host's server on the engine of the shard owning that host, and all
+// query bookkeeping moves with the traffic:
+//
+//   - SubmitQuery (aggregator draw, sub-query fan-out) runs on the control
+//     engine — open arrivals have unbounded lookahead, and at a window
+//     barrier every shard is quiesced, so the synchronous hop-0 sends are
+//     safe.
+//   - Request-arrival and server-completion callbacks run in the ISN's
+//     shard; reply-arrival and query completion run in the aggregator's
+//     shard. Each sub-query's state is touched along a single causal chain
+//     (control → ISN shard → aggregator shard), handed across shards at
+//     barriers, so no lock is needed.
+//   - Per-query state (query.done, QueryLatency samples) is touched only in
+//     the aggregator's shard — which requires the no-drop envelope below,
+//     since a dropped attempt would resolve in whatever shard dropped it.
+//
+// # Envelope
+//
+// Sharded cluster runs reject SubQueryTimeout, RetryBudget and
+// AdmissionControl (their failure paths mutate query state from control or
+// foreign-shard contexts), and assume every query-pair route is installed
+// and fully active — the figure workloads' configuration. Drops then
+// cannot occur, which is what pins every query's mutations to its
+// aggregator's shard.
+//
+// # Deterministic statistics merge
+//
+// metrics.Tracker's Mean is the incremental sum of its samples, so
+// insertion order matters at the ULP level. Sharded runs therefore record
+// (time, value) samples per shard and rebuild each tracker at read time by
+// k-way merging the shard streams in (time, shard) order — the same order
+// the sequential simulator inserted them in (two tracker samples from
+// different shards at the exact same float64 time would be a measure-zero
+// tie). The sequential path keeps writing straight into the trackers and
+// is untouched.
+
+import (
+	"fmt"
+
+	"eprons/internal/metrics"
+	"eprons/internal/sim"
+)
+
+// tsample is one time-tagged tracker sample recorded in a shard.
+type tsample struct {
+	t, v float64
+}
+
+// shardCell is the per-shard slice of the cluster's statistics: counter
+// deltas plus time-tagged sample streams for each tracker, merged into a
+// Stats view at read time.
+type shardCell struct {
+	queries     int
+	slaMisses   int
+	queriesLost int
+	droppedSub  int
+	nextID      int64
+
+	queryLat     []tsample
+	netReqLat    []tsample
+	netReplyLat  []tsample
+	serverLat    []tsample
+	slackGranted []tsample
+}
+
+// clusterSharding is the cluster's sharded-mode state; nil in sequential
+// mode.
+type clusterSharding struct {
+	se        *sim.Sharded
+	hostEng   []*sim.Engine // per host index
+	hostShard []int         // per host index
+	cells     []shardCell
+	merged    Stats // rebuilt by Stats()/StatsInto on demand
+}
+
+// initSharding wires the cluster to the network's sharded runner, or
+// returns (nil, nil) in sequential mode.
+func initSharding(c *Cluster, cfg Config) (*clusterSharding, error) {
+	se, _ := c.net.Sharding()
+	if se == nil {
+		return nil, nil
+	}
+	if cfg.SubQueryTimeout > 0 || cfg.RetryBudget > 0 || cfg.AdmissionControl {
+		return nil, fmt.Errorf("cluster: sharded execution does not support timeouts, retries or admission control")
+	}
+	sh := &clusterSharding{
+		se:        se,
+		hostEng:   make([]*sim.Engine, len(c.hosts)),
+		hostShard: make([]int, len(c.hosts)),
+		cells:     make([]shardCell, se.Shards()),
+	}
+	for i, h := range c.hosts {
+		s := c.net.ShardOfNode(h)
+		sh.hostShard[i] = s
+		sh.hostEng[i] = se.ShardEngine(s)
+	}
+	return sh, nil
+}
+
+// hostEngine returns the engine host hostIdx's events run on.
+func (c *Cluster) hostEngine(hostIdx int) *sim.Engine {
+	if c.sh == nil {
+		return c.eng
+	}
+	return c.sh.hostEng[hostIdx]
+}
+
+// nowAt returns the current time in host hostIdx's execution context: the
+// host's shard clock in sharded mode (equal to the control clock at every
+// quiesced point), the engine clock otherwise.
+func (c *Cluster) nowAt(hostIdx int) float64 {
+	if c.sh == nil {
+		return c.eng.Now()
+	}
+	return c.sh.hostEng[hostIdx].Now()
+}
+
+// cellOf returns the stat cell for host hostIdx's shard.
+func (c *Cluster) cellOf(hostIdx int) *shardCell {
+	return &c.sh.cells[c.sh.hostShard[hostIdx]]
+}
+
+// nextRequestID draws a server-request ID in host hostIdx's context. The
+// sequential path keeps the single global counter; shards carve disjoint
+// ID spaces so per-ISN pending maps never collide.
+func (c *Cluster) nextRequestID(hostIdx int) int64 {
+	if c.sh == nil {
+		c.nextID++
+		return c.nextID
+	}
+	cell := c.cellOf(hostIdx)
+	cell.nextID++
+	return int64(c.sh.hostShard[hostIdx]+1)<<48 | cell.nextID
+}
+
+// mergeSamples rebuilds dst from the per-shard streams in (time, shard)
+// insertion order — the order the sequential simulator would have used.
+func mergeSamples(dst *metrics.Tracker, parts [][]tsample) {
+	dst.Reset()
+	idx := make([]int, len(parts))
+	for {
+		best := -1
+		var bt float64
+		for s := range parts {
+			i := idx[s]
+			if i >= len(parts[s]) {
+				continue
+			}
+			if best < 0 || parts[s][i].t < bt {
+				best, bt = s, parts[s][i].t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		dst.Add(parts[best][idx[best]].v)
+		idx[best]++
+	}
+}
+
+// mergeStats rebuilds the merged Stats view: control-context scalars from
+// c.stats, shard counter deltas summed in shard order, trackers k-way
+// merged from the time-tagged streams.
+func (c *Cluster) mergeStats(out *Stats) {
+	sh := c.sh
+	*out = Stats{}
+	s := &c.stats
+	out.QueriesSubmitted = s.QueriesSubmitted
+	out.Queries = s.Queries
+	out.SLAMisses = s.SLAMisses
+	out.QueriesLost = s.QueriesLost
+	out.DroppedSub = s.DroppedSub
+	out.Retries = s.Retries
+	out.Timeouts = s.Timeouts
+	out.QueriesShed = s.QueriesShed
+	out.RejectedSub = s.RejectedSub
+	out.ShedTransitions = s.ShedTransitions
+	parts := make([][]tsample, len(sh.cells))
+	pick := func(f func(*shardCell) []tsample, dst *metrics.Tracker) {
+		for i := range sh.cells {
+			parts[i] = f(&sh.cells[i])
+		}
+		mergeSamples(dst, parts)
+	}
+	for i := range sh.cells {
+		cell := &sh.cells[i]
+		out.Queries += cell.queries
+		out.SLAMisses += cell.slaMisses
+		out.QueriesLost += cell.queriesLost
+		out.DroppedSub += cell.droppedSub
+	}
+	pick(func(c *shardCell) []tsample { return c.queryLat }, &out.QueryLatency)
+	pick(func(c *shardCell) []tsample { return c.netReqLat }, &out.NetReqLat)
+	pick(func(c *shardCell) []tsample { return c.netReplyLat }, &out.NetReplyLat)
+	pick(func(c *shardCell) []tsample { return c.serverLat }, &out.ServerLat)
+	pick(func(c *shardCell) []tsample { return c.slackGranted }, &out.SlackGranted)
+}

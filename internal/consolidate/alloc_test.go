@@ -1,0 +1,48 @@
+package consolidate
+
+import (
+	"testing"
+
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+)
+
+// TestBalanceAllocBound pins the candidate-scan allocation profile: path
+// enumeration uses a flat backing array (two allocations per flow) and the
+// per-candidate work (PathOn, DirLinks, utilization scan) is
+// allocation-free via reused scratch. Regressing to per-candidate
+// allocations multiplies this bound by the ECMP path count and previously
+// cost Fig 10 at k=8 ~2.5M allocations per run.
+func TestBalanceAllocBound(t *testing.T) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []flow.Flow
+	id := flow.ID(0)
+	for i, src := range ft.Hosts {
+		for j, dst := range ft.Hosts {
+			if i == j {
+				continue
+			}
+			flows = append(flows, flow.Flow{
+				ID: id, Src: src, Dst: dst, DemandBps: 5e6, Class: flow.LatencySensitive,
+			})
+			id++
+		}
+	}
+	cfg := Config{ScaleK: 1, SafetyMarginBps: 50e6, Restrict: ft.AggregationPolicy(0)}
+	avg := testing.AllocsPerRun(5, func() {
+		res, err := Balance(ft, flows, cfg)
+		if err != nil || !res.Feasible {
+			t.Fatalf("balance: err=%v feasible=%v", err, res != nil && res.Feasible)
+		}
+	})
+	// 240 flows: ~2 path-enumeration + ~2 commit allocations each, plus
+	// result maps, active-set setup and sort — measured ~1.5k, far under
+	// the ~15k a per-candidate regression would produce on this instance.
+	const maxAllocs = 4000
+	if avg > maxAllocs {
+		t.Fatalf("Balance allocated %.0f times per run, want <= %d", avg, maxAllocs)
+	}
+}

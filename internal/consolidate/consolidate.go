@@ -141,6 +141,7 @@ func Greedy(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
 		return cfg.effective(order[i]) > cfg.effective(order[j])
 	})
 
+	var dirScratch []int
 	for _, f := range order {
 		paths := ft.Paths(f.Src, f.Dst)
 		if len(paths) == 0 {
@@ -154,7 +155,8 @@ func Greedy(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
 			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
 				continue
 			}
-			if !fits(g, res, p, eff, cfg.SafetyMarginBps) {
+			dirScratch = p.DirLinksInto(g, dirScratch)
+			if !fits(g, res, dirScratch, eff, cfg.SafetyMarginBps) {
 				continue
 			}
 			newSw := newSwitches(g, res.Active, p)
@@ -223,8 +225,10 @@ func activateBackups(ft Fabric, flows []flow.Flow, cfg Config, res *Result) {
 	}
 }
 
-func fits(g *topology.Graph, res *Result, p topology.Path, eff, margin float64) bool {
-	for _, d := range p.DirLinks(g) {
+// fits takes the path's directed links (p.DirLinksInto) rather than the
+// path itself so the candidate-scan loops resolve each path exactly once.
+func fits(g *topology.Graph, res *Result, dirs []int, eff, margin float64) bool {
+	for _, d := range dirs {
 		cap := g.Link(topology.LinkID(d/2)).CapacityBps - margin
 		if res.ReservedBps[d]+eff > cap {
 			return false
@@ -279,19 +283,22 @@ func Balance(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
 	sort.SliceStable(order, func(i, j int) bool {
 		return cfg.effective(order[i]) > cfg.effective(order[j])
 	})
+	var dirScratch []int
 	for _, f := range order {
 		eff := cfg.effective(f)
+		paths := ft.Paths(f.Src, f.Dst)
 		bestIdx := -1
 		bestMax, bestSum := 0.0, 0.0
-		for idx, p := range ft.Paths(f.Src, f.Dst) {
+		for idx, p := range paths {
 			if cfg.Restrict != nil && !cfg.Restrict.PathOn(p) {
 				continue
 			}
-			if !fits(g, res, p, eff, cfg.SafetyMarginBps) {
+			dirScratch = p.DirLinksInto(g, dirScratch)
+			if !fits(g, res, dirScratch, eff, cfg.SafetyMarginBps) {
 				continue
 			}
 			maxU, sum := 0.0, 0.0
-			for _, d := range p.DirLinks(g) {
+			for _, d := range dirScratch {
 				u := (res.ReservedBps[d] + eff) / g.Link(topology.LinkID(d/2)).CapacityBps
 				if u > maxU {
 					maxU = u
@@ -307,7 +314,7 @@ func Balance(ft Fabric, flows []flow.Flow, cfg Config) (*Result, error) {
 			res.Unplaced = append(res.Unplaced, f.ID)
 			continue
 		}
-		commit(g, res, f, ft.Paths(f.Src, f.Dst)[bestIdx], eff)
+		commit(g, res, f, paths[bestIdx], eff)
 	}
 	res.NetworkPowerW = res.Active.NetworkPowerW()
 	return res, nil

@@ -202,6 +202,24 @@ type NetLatencyConfig struct {
 	// simulator with it off, and within the pinned statistical
 	// tolerance (TestFig10FluidTolerance) with it on.
 	Fluid bool
+	// Shards splits each cell's packet simulation across pod shards run in
+	// conservative lockstep windows (sim.Sharded): shard s owns a block of
+	// pods — its servers, edge/agg switches and intra-pod links — and
+	// cross-pod packets cross shards at window barriers bounded by the
+	// per-hop lookahead. 0 or 1 is the historical sequential engine; n > 1
+	// uses n shards (clamped to the pod count); < 0 picks
+	// min(parallel.DefaultWorkers(), K). Figure output is identical to the
+	// sequential engine for every shard count (TestShardedFigEquivalence).
+	Shards int
+	// ECMPQueries routes query-pair traffic directly over deterministic
+	// hash-selected ECMP shortest paths restricted to the active set,
+	// instead of handing one flow per ordered host pair to the
+	// consolidation placer. Placement cost for query traffic drops from
+	// O(hosts² × paths) to O(hosts²), which is what makes k ≥ 16 fabrics
+	// (≥ 1M host pairs) runnable; background flows are still placed by the
+	// consolidator. Off by default: the figure experiments keep the
+	// paper's reservation-aware placement.
+	ECMPQueries bool
 }
 
 func (c *NetLatencyConfig) fill() {
@@ -220,6 +238,58 @@ func (c *NetLatencyConfig) fill() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+}
+
+// shardCount resolves the Shards knob against the pod count k.
+func (c *NetLatencyConfig) shardCount(k int) int {
+	n := c.Shards
+	if n < 0 {
+		n = parallel.DefaultWorkers()
+	}
+	if n > k {
+		n = k
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ecmpQueryRoutes installs one active ECMP shortest path per ordered host
+// pair, chosen by a deterministic hash probe over the canonical path
+// enumeration (fattree.PathByIndex) so reruns and shard counts agree.
+func ecmpQueryRoutes(net *netsim.Network, cl *cluster.Cluster, ft *fattree.FatTree, active *topology.ActiveSet) error {
+	hosts := ft.Hosts
+	for i := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			src, dst := hosts[i], hosts[j]
+			np := ft.NumPaths(src, dst)
+			h := uint64(i)<<32 | uint64(j)
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= h >> 33
+			start := int(h % uint64(np))
+			installed := false
+			for t := 0; t < np; t++ {
+				p := ft.PathByIndex(src, dst, (start+t)%np)
+				if !active.PathOn(p) {
+					continue
+				}
+				if err := net.SetRoute(cl.FlowID(i, j), p); err != nil {
+					return err
+				}
+				installed = true
+				break
+			}
+			if !installed {
+				return fmt.Errorf("%w: no active ECMP path host %d→%d", ErrInfeasible, i, j)
+			}
+		}
+	}
+	return nil
 }
 
 // ErrInfeasible reports that a flow set could not be placed at the
@@ -244,6 +314,19 @@ func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil floa
 	ncfg := netsim.DefaultConfig()
 	ncfg.FluidBackground = cfg.Fluid
 	net := netsim.New(eng, ft.Graph, ncfg)
+	run := eng.Run
+	if shards := cfg.shardCount(ft.Cfg.K); shards > 1 {
+		part, err := ft.Partition(shards)
+		if err != nil {
+			return nil, 0, err
+		}
+		se := sim.NewSharded(eng, part.Shards, ncfg.HopDelay)
+		defer se.Close()
+		if err := net.Shard(se, part); err != nil {
+			return nil, 0, err
+		}
+		run = se.Run
+	}
 	d, err := workload.ServiceDist(workload.DefaultServiceConfig())
 	if err != nil {
 		return nil, 0, err
@@ -283,8 +366,10 @@ func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil floa
 	if reserve < cfg.QueryReserveBps {
 		reserve = cfg.QueryReserveBps
 	}
-	queryFlows := cl.PairFlows(reserve)
-	all := append(queryFlows, bgFlows...)
+	all := bgFlows
+	if !cfg.ECMPQueries {
+		all = append(cl.PairFlows(reserve), bgFlows...)
+	}
 
 	ccfg := consolidate.Config{ScaleK: scaleK, SafetyMarginBps: 50e6, Restrict: active}
 	var placed *consolidate.Result
@@ -307,6 +392,15 @@ func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil floa
 	if err := net.InstallRoutes(placed.Paths); err != nil {
 		return nil, 0, err
 	}
+	if cfg.ECMPQueries {
+		act := active
+		if act == nil {
+			act = placed.Active
+		}
+		if err := ecmpQueryRoutes(net, cl, ft, act); err != nil {
+			return nil, 0, err
+		}
+	}
 
 	var bgs []*netsim.Background
 	for i, f := range bgFlows {
@@ -316,12 +410,12 @@ func measureNetwork(active *topology.ActiveSet, ft *fattree.FatTree, bgUtil floa
 	}
 	sampler := workload.NewSampler(d, cfg.Seed+5)
 	stop := cl.StartPoisson(func() float64 { return cfg.QueryRate }, sampler.Draw, cfg.Seed+11)
-	eng.Run(cfg.DurationS)
+	run(cfg.DurationS)
 	stop()
 	for _, b := range bgs {
 		b.Stop()
 	}
-	eng.Run(cfg.DurationS + 0.5)
+	run(cfg.DurationS + 0.5)
 	return cl.Stats(), placed.Active.ActiveSwitches(), nil
 }
 

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fig10Cells runs a small Fig 10 sweep and renders it in figdump's exact
+// format (%.17g round-trips float64 exactly), so equality here is
+// bit-identity of the figure output.
+func fig10Cells(t *testing.T, cfg NetLatencyConfig) string {
+	t.Helper()
+	rows, err := Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
+	if err != nil {
+		t.Fatalf("fig10: %v", err)
+	}
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("fig10 %d %.17g %.17g %.17g %.17g %d\n",
+			r.Level, r.BgUtil, r.MeanS, r.P95S, r.P99S, r.Dropped)
+	}
+	return out
+}
+
+func fig11Cells(t *testing.T, cfg NetLatencyConfig) string {
+	t.Helper()
+	rows, err := Fig11ScaleFactor([]int{1, 4}, []float64{0.30}, cfg)
+	if err != nil {
+		t.Fatalf("fig11: %v", err)
+	}
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("fig11 %d %.17g %.17g %d %v\n",
+			r.K, r.BgUtil, r.P95S, r.ActiveSwitches, r.Feasible)
+	}
+	return out
+}
+
+// TestShardedFigEquivalence pins the tentpole contract: the pod-sharded
+// conservative engine produces figure output bit-identical to the
+// sequential engine at every shard count, with the fluid background engine
+// both off and on. (Fig 13/15 are planner-model computations with no
+// packet simulation — the Shards knob does not reach them, so their
+// figdump output is trivially invariant.)
+func TestShardedFigEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run packet simulations")
+	}
+	for _, fluid := range []bool{false, true} {
+		fluid := fluid
+		t.Run(fmt.Sprintf("fluid=%v", fluid), func(t *testing.T) {
+			cfg := NetLatencyConfig{DurationS: 0.4, K: 4, Fluid: fluid}
+			ref10 := fig10Cells(t, cfg)
+			ref11 := fig11Cells(t, NetLatencyConfig{DurationS: 0.3, K: 4, Fluid: fluid})
+			for _, shards := range []int{2, 4} {
+				scfg := cfg
+				scfg.Shards = shards
+				if got := fig10Cells(t, scfg); got != ref10 {
+					t.Errorf("fig10 shards=%d diverged from sequential:\n--- sequential\n%s--- shards=%d\n%s", shards, ref10, shards, got)
+				}
+				s11 := NetLatencyConfig{DurationS: 0.3, K: 4, Fluid: fluid, Shards: shards}
+				if got := fig11Cells(t, s11); got != ref11 {
+					t.Errorf("fig11 shards=%d diverged from sequential:\n--- sequential\n%s--- shards=%d\n%s", shards, ref11, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedECMPEquivalence pins that the ECMP query-route fast path is
+// itself shard-invariant (it changes routing, so it is NOT compared to the
+// placer path — only to itself across shard counts).
+func TestShardedECMPEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run packet simulations")
+	}
+	cfg := NetLatencyConfig{DurationS: 0.4, K: 4, Fluid: true, ECMPQueries: true}
+	ref := fig10Cells(t, cfg)
+	for _, shards := range []int{2, 4} {
+		scfg := cfg
+		scfg.Shards = shards
+		if got := fig10Cells(t, scfg); got != ref {
+			t.Errorf("ecmp fig10 shards=%d diverged:\n--- sequential\n%s--- shards=%d\n%s", shards, ref, shards, got)
+		}
+	}
+}

@@ -166,17 +166,26 @@ func (ft *FatTree) Paths(src, dst topology.NodeID) []topology.Path {
 	if sp == dp && se == de {
 		return []topology.Path{{src, ft.Edge(sp, se), dst}}
 	}
+	// One flat backing array for all candidates (two allocations per call
+	// instead of one per path — consolidation enumerates candidates for
+	// every flow, and per-path slice headers dominated its allocation
+	// profile). Three-index slicing caps each path at its own segment.
 	if sp == dp {
+		backing := make([]topology.NodeID, 0, half*5)
 		out := make([]topology.Path, 0, half)
 		for a := 0; a < half; a++ {
-			out = append(out, topology.Path{src, ft.Edge(sp, se), ft.Agg(sp, a), ft.Edge(dp, de), dst})
+			start := len(backing)
+			backing = append(backing, src, ft.Edge(sp, se), ft.Agg(sp, a), ft.Edge(dp, de), dst)
+			out = append(out, topology.Path(backing[start:len(backing):len(backing)]))
 		}
 		return out
 	}
+	backing := make([]topology.NodeID, 0, half*half*7)
 	out := make([]topology.Path, 0, half*half)
 	for grp := 0; grp < half; grp++ {
 		for i := 0; i < half; i++ {
-			out = append(out, topology.Path{
+			start := len(backing)
+			backing = append(backing,
 				src,
 				ft.Edge(sp, se),
 				ft.Agg(sp, grp),
@@ -184,7 +193,8 @@ func (ft *FatTree) Paths(src, dst topology.NodeID) []topology.Path {
 				ft.Agg(dp, grp),
 				ft.Edge(dp, de),
 				dst,
-			})
+			)
+			out = append(out, topology.Path(backing[start:len(backing):len(backing)]))
 		}
 	}
 	return out

@@ -194,6 +194,10 @@ type Network struct {
 	// until the first StartBackground under Cfg.FluidBackground.
 	fluid *fluidState
 
+	// shd carries the sharded-execution state (see shard.go); nil in
+	// sequential mode, which keeps every sequential code path untouched.
+	shd *sharding
+
 	// pktFree and msgFree pool the per-packet and per-message structs of
 	// the forwarding pipeline. Both are bounded by the in-flight high-water
 	// mark; in steady state SendMessage allocates nothing but whatever the
@@ -421,6 +425,10 @@ func (n *Network) releasePacket(p *packet) {
 // delivered. Packet-level drops are counted in Dropped, message-level
 // drops in MsgDropped.
 func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
+	if n.shd != nil {
+		n.sendShard(fid, size, onDelivered, onDropped)
+		return
+	}
 	rt, ok := n.routes[fid]
 	if !ok || len(rt.path) < 2 {
 		n.OfferedBytes += int64(size)
@@ -600,6 +608,10 @@ func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.
 		n.startFluidBackground(b, fid, rate, stream, bits)
 		return b
 	}
+	if n.shd != nil {
+		n.startShardBackground(b, fid, rate, stream, bits)
+		return b
+	}
 	// Exactly two closures for the lifetime of the source (arm draws the
 	// next arrival, fire emits a packet); every packet reuses them, so the
 	// steady-state source allocates nothing.
@@ -655,6 +667,7 @@ func (n *Network) LinkBytesInto(out map[topology.LinkID]int64) map[topology.Link
 	} else {
 		clear(out)
 	}
+	n.SyncStats()
 	n.fluidAccrueAll()
 	for i := range n.links {
 		if n.links[i].bytes != 0 {
@@ -683,6 +696,7 @@ func (n *Network) LinkUtilizationInto(out map[topology.LinkID]float64, window fl
 	if window <= 0 {
 		return out
 	}
+	n.SyncStats()
 	n.fluidAccrueAll()
 	for i := range n.links {
 		b := n.links[i].bytes
@@ -716,6 +730,7 @@ func (n *Network) FlowRatesInto(out map[flow.ID]float64, window float64) map[flo
 	if window <= 0 {
 		return out
 	}
+	n.SyncStats()
 	n.fluidAccrueAll()
 	for id, b := range n.flowBytes {
 		out[id] = float64(b) * 8 / window
@@ -728,6 +743,7 @@ func (n *Network) FlowRatesInto(out map[flow.ID]float64, window float64) map[flo
 // background bytes accrue first, so a read-then-reset cycle never loses
 // analytic bytes.
 func (n *Network) ResetStats() {
+	n.SyncStats()
 	n.fluidAccrueAll()
 	for i := range n.links {
 		n.links[i].bytes = 0

@@ -1,0 +1,386 @@
+package netsim
+
+// Sharded (pod-parallel) execution of one Network.
+//
+// Shard(se, part) splits the network's hot path across the shards of a
+// sim.Sharded: every directed link belongs to exactly one shard
+// (topology.Partition's arrival rule), the arrival event for hop i of a
+// packet runs on the engine of the shard owning hops[i].Dir, and a packet
+// whose next hop's direction belongs to a different shard crosses via
+// se.Handoff at the window barrier. With the fat-tree partition the only
+// cross-shard transitions are the two core crossings (agg→core stays with
+// the source pod, core→agg belongs to the destination pod), and each is
+// preceded by a transmission plus the fixed HopDelay — which is exactly why
+// HopDelay is a safe conservative lookahead: an event at time t in one
+// shard cannot place work into another shard earlier than t + HopDelay.
+//
+// # What stays on the control engine
+//
+// n.eng (the engine New was given) becomes the sharded run's control
+// engine: the fluid-background tick, rate accrual and every quiesced-state
+// mutation (SetActive, SetRoute, stats readers) keep using it unmodified
+// and therefore run at window barriers with every shard parked. The
+// clock-sync invariant of sim.Sharded (all shard clocks equal the control
+// clock at every quiesced point) makes n.eng.Now() correct in control
+// context.
+//
+// # Feature envelope
+//
+// Sharded mode supports the figure workloads: FIFO links, unbounded
+// queues, static active set during a Run, fluid or packet background, and
+// request/reply messages. PriorityQueueing and QueueLimitBytes are
+// rejected — both mutate shared structures from foreign-shard contexts
+// (the PQ per-direction queues; tail-drops touching a message whose other
+// packets are live in another shard). Mid-run SetActive/SetRoute is
+// undefined; between Runs it is fine (routes revalidate at the next Run
+// start via the AtRunStart hook).
+//
+// # Determinism
+//
+// Within a shard, events execute in the engine's (time, seq) order;
+// cross-shard handoffs are merged at barriers in (source shard, FIFO)
+// order. Both orders are independent of thread scheduling, so a sharded
+// run is bit-identical to itself. Versus the sequential engine, the only
+// possible divergence is the relative order of two *interacting* events at
+// the exact same float64 time in different shards — a measure-zero tie the
+// figure-equivalence tests pin empirically.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"eprons/internal/flow"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+// netShard is the per-shard slice of the network's mutable hot-path state:
+// its engine, its own packet/message pools, its flow-byte map and its
+// counter deltas (folded into the Network's exported counters by SyncStats
+// at quiesced points).
+type netShard struct {
+	eng       *sim.Engine
+	flowBytes map[flow.ID]int64
+	pktFree   []*packet
+	msgFree   []*message
+
+	dropped      int64
+	offeredBytes int64
+	carriedBytes int64
+	msgDropped   int64
+}
+
+// sharding is the Network's sharded-mode state; nil in sequential mode.
+type sharding struct {
+	se  *sim.Sharded
+	sh  []netShard
+	dir []int32 // owner shard per directed-link index
+
+	// Route-less sends can fire from any shard context; their accounting
+	// has no owning direction, so it goes through atomics.
+	unroutedOffered    atomic.Int64
+	unroutedDropped    atomic.Int64
+	unroutedMsgDropped atomic.Int64
+}
+
+// Shard switches the network to sharded execution over se. It must be
+// called before any traffic is started; n's engine becomes the control
+// engine (it must be the one se was built over). Config features outside
+// the sharded envelope are rejected.
+func (n *Network) Shard(se *sim.Sharded, part *topology.Partition) error {
+	if n.shd != nil {
+		return fmt.Errorf("netsim: network already sharded")
+	}
+	if n.Cfg.PriorityQueueing {
+		return fmt.Errorf("netsim: sharded execution does not support PriorityQueueing")
+	}
+	if n.Cfg.QueueLimitBytes > 0 {
+		return fmt.Errorf("netsim: sharded execution does not support QueueLimitBytes")
+	}
+	if se.Control() != n.eng {
+		return fmt.Errorf("netsim: sharded control engine is not the network's engine")
+	}
+	if se.Shards() != part.Shards {
+		return fmt.Errorf("netsim: partition has %d shards, engine has %d", part.Shards, se.Shards())
+	}
+	if len(part.DirShard) != len(n.links) {
+		return fmt.Errorf("netsim: partition covers %d link directions, network has %d", len(part.DirShard), len(n.links))
+	}
+	shd := &sharding{se: se, dir: part.DirShard, sh: make([]netShard, se.Shards())}
+	for i := range shd.sh {
+		shd.sh[i].eng = se.ShardEngine(i)
+		shd.sh[i].flowBytes = make(map[flow.ID]int64)
+	}
+	n.shd = shd
+	// Routes must never revalidate from a shard context (two shards would
+	// race on the shared hop mask), so bring every stale route up to date
+	// while quiesced at the top of each Run.
+	se.AtRunStart(func() {
+		for _, r := range n.routes {
+			if r.epoch != n.activeEpoch {
+				n.revalidate(r)
+			}
+		}
+	})
+	return nil
+}
+
+// Sharding returns the sharded runner and partition owner map, or (nil,
+// nil) in sequential mode. Model layers above (cluster) use it to place
+// their own per-shard state.
+func (n *Network) Sharding() (*sim.Sharded, []int32) {
+	if n.shd == nil {
+		return nil, nil
+	}
+	return n.shd.se, n.shd.dir
+}
+
+// ShardOfNode returns the shard owning traffic sourced at node v — the
+// owner of v's first outbound hop. It falls back to the owner of any
+// adjacent direction; isolated nodes report 0.
+func (n *Network) ShardOfNode(v topology.NodeID) int {
+	if n.shd == nil {
+		return 0
+	}
+	for _, lid := range n.g.LinksAt(v) {
+		l := n.g.Link(lid)
+		return int(n.shd.dir[l.DirIndex(v)])
+	}
+	return 0
+}
+
+// SyncStats folds every shard's counter deltas and flow-byte map into the
+// Network's exported fields. It must only be called at quiesced points
+// (between Runs or from control context); the sequential path is a no-op.
+func (n *Network) SyncStats() {
+	shd := n.shd
+	if shd == nil {
+		return
+	}
+	for i := range shd.sh {
+		sh := &shd.sh[i]
+		n.Dropped += sh.dropped
+		n.OfferedBytes += sh.offeredBytes
+		n.CarriedBytes += sh.carriedBytes
+		n.MsgDropped += sh.msgDropped
+		sh.dropped, sh.offeredBytes, sh.carriedBytes, sh.msgDropped = 0, 0, 0, 0
+		for id, b := range sh.flowBytes {
+			n.flowBytes[id] += b
+		}
+		clear(sh.flowBytes)
+	}
+	n.Dropped += shd.unroutedDropped.Swap(0)
+	n.OfferedBytes += shd.unroutedOffered.Swap(0)
+	n.MsgDropped += shd.unroutedMsgDropped.Swap(0)
+}
+
+// acquirePacketShard is acquirePacket against a shard-local pool. The step
+// closure binds the sharded forwarder.
+func (n *Network) acquirePacketShard(sh *netShard) *packet {
+	if k := len(sh.pktFree); k > 0 {
+		p := sh.pktFree[k-1]
+		sh.pktFree[k-1] = nil
+		sh.pktFree = sh.pktFree[:k-1]
+		return p
+	}
+	p := &packet{n: n}
+	p.step = func() { p.n.stepShard(p) }
+	return p
+}
+
+// acquireMessageShard is acquireMessage against a shard-local pool.
+func (n *Network) acquireMessageShard(sh *netShard) *message {
+	if k := len(sh.msgFree); k > 0 {
+		m := sh.msgFree[k-1]
+		sh.msgFree[k-1] = nil
+		sh.msgFree = sh.msgFree[:k-1]
+		return m
+	}
+	return &message{}
+}
+
+// sendShard is SendMessage in sharded mode. The send context must be the
+// owner shard of the route's first direction, or control context at a
+// barrier — both give the same clock, and both may touch the first link's
+// state. Pools migrate with the traffic: packets and messages are acquired
+// at the source shard and released wherever they terminate.
+func (n *Network) sendShard(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
+	rt, ok := n.routes[fid]
+	if !ok || len(rt.path) < 2 {
+		shd := n.shd
+		shd.unroutedOffered.Add(int64(size))
+		shd.unroutedDropped.Add(1)
+		shd.unroutedMsgDropped.Add(1)
+		if onDropped != nil {
+			onDropped()
+		}
+		return
+	}
+	sh := &n.shd.sh[n.shd.dir[rt.hops[0].Dir]]
+	packets := (size + n.Cfg.PacketBytes - 1) / n.Cfg.PacketBytes
+	if packets == 0 {
+		packets = 1
+	}
+	m := n.acquireMessageShard(sh)
+	m.packets = packets
+	m.inflight = packets
+	m.start = sh.eng.Now()
+	m.onDelivered = onDelivered
+	m.onDropped = onDropped
+	hi := n.highPrio[fid]
+	remaining := size
+	for i := 0; i < packets; i++ {
+		pkt := n.Cfg.PacketBytes
+		if remaining < pkt {
+			pkt = remaining
+		}
+		remaining -= pkt
+		pk := n.acquirePacketShard(sh)
+		pk.fid = fid
+		pk.rt = rt
+		pk.bytes = pkt
+		pk.hop = 0
+		pk.hi = hi
+		pk.msg = m
+		n.stepShard(pk)
+	}
+}
+
+// finishShard terminates a packet in shard context sh (the owner of the
+// hop where it terminated) and applies the message-level semantics of
+// finishPacket against sh's clock and pools.
+func (n *Network) finishShard(pk *packet, sh *netShard, delivered bool) {
+	m := pk.msg
+	pk.rt = nil
+	pk.msg = nil
+	sh.pktFree = append(sh.pktFree, pk)
+	if m == nil {
+		return
+	}
+	if delivered {
+		if !m.dropped {
+			m.arrived++
+			if m.arrived == m.packets && m.onDelivered != nil {
+				m.onDelivered(sh.eng.Now() - m.start)
+			}
+		}
+	} else if !m.dropped {
+		m.dropped = true
+		sh.msgDropped++
+		if m.onDropped != nil {
+			m.onDropped()
+		}
+	}
+	m.inflight--
+	if m.inflight == 0 {
+		*m = message{}
+		sh.msgFree = append(sh.msgFree, m)
+	}
+}
+
+// startShardBackground is the classic (non-fluid) background packet loop
+// in sharded mode: the same two closures and the same draw sequence as
+// StartBackground's sequential loop, running on the engine of the shard
+// that owns the source's first hop, so every packet originates inside its
+// own shard. A source with no route at start falls back to the control
+// engine (its re-polls then run at window barriers, where injecting onto
+// any shard is safe).
+func (n *Network) startShardBackground(b *Background, fid flow.ID, rate func() float64, stream *rng.Stream, bits float64) {
+	seng := n.eng
+	if rt, ok := n.routes[fid]; ok && len(rt.hops) > 0 {
+		seng = n.shd.sh[n.shd.dir[rt.hops[0].Dir]].eng
+	}
+	var arm, fire func()
+	arm = func() {
+		if b.stop {
+			return
+		}
+		r := rate()
+		if r <= 0 {
+			seng.After(10e-3, arm)
+			return
+		}
+		seng.After(stream.Exp(bits/r), fire)
+	}
+	fire = func() {
+		if b.stop {
+			return
+		}
+		if rt, ok := n.routes[fid]; ok {
+			sh := &n.shd.sh[n.shd.dir[rt.hops[0].Dir]]
+			pk := n.acquirePacketShard(sh)
+			pk.fid = fid
+			pk.rt = rt
+			pk.bytes = n.Cfg.PacketBytes
+			pk.hop = 0
+			pk.hi = n.highPrio[fid]
+			pk.msg = nil
+			n.stepShard(pk)
+		}
+		arm()
+	}
+	arm()
+}
+
+// stepShard is stepPacket for sharded mode: identical queueing arithmetic,
+// but every access resolves through the owner shard of the current hop's
+// direction, and a next hop owned by a different shard is scheduled via
+// the barrier handoff instead of a direct engine call.
+//
+// All of a message's state touches happen in a single shard context per
+// hop (the owner of that hop's direction), and under the sharded envelope
+// (no tail drops, static active set) a message either delivers every
+// packet at the final hop's owner or drops every packet at the first
+// inactive hop's owner — never both concurrently.
+func (n *Network) stepShard(pk *packet) {
+	shd := n.shd
+	hop := pk.hop
+	r := pk.rt
+	if hop >= len(r.hops) {
+		sh := &shd.sh[shd.dir[r.hops[len(r.hops)-1].Dir]]
+		n.finishShard(pk, sh, true)
+		return
+	}
+	h := &r.hops[hop]
+	self := shd.dir[h.Dir]
+	sh := &shd.sh[self]
+	if hop == 0 {
+		sh.offeredBytes += int64(pk.bytes)
+	}
+	if r.off[hop] {
+		// Routes are revalidated against the active set at Run start
+		// (never from shard context — see the AtRunStart hook in Shard),
+		// so the mask is stable here.
+		sh.dropped++
+		n.finishShard(pk, sh, false)
+		return
+	}
+	ls := &n.links[h.Dir]
+	capBps := n.dirCap[h.Dir]
+	if ls.fluidBps > 0 {
+		capBps -= ls.fluidBps
+	}
+	eng := sh.eng
+	startTx := eng.Now()
+	if ls.busyUntil > startTx {
+		startTx = ls.busyUntil
+	}
+	if hop == 0 {
+		sh.flowBytes[pk.fid] += int64(pk.bytes)
+		sh.carriedBytes += int64(pk.bytes)
+	}
+	txTime := float64(pk.bytes) * 8 / capBps
+	depart := startTx + txTime
+	ls.busyUntil = depart
+	ls.bytes += int64(pk.bytes)
+	pk.hop = hop + 1
+	at := depart + n.Cfg.HopDelay
+	if next := hop + 1; next < len(r.hops) {
+		if tgt := shd.dir[r.hops[next].Dir]; tgt != self {
+			shd.se.Handoff(int(self), int(tgt), at, pk.step)
+			return
+		}
+	}
+	eng.Schedule(at, pk.step)
+}

@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"eprons/internal/fattree"
+	"eprons/internal/flow"
+	"eprons/internal/rng"
+	"eprons/internal/sim"
+	"eprons/internal/topology"
+)
+
+// shardFuzzResult is everything observable about one fuzzed run.
+type shardFuzzResult struct {
+	delivered int
+	droppedCb int
+	latBits   uint64 // latency sum, compared bitwise
+	dropped   int64
+	tailDrops int64
+	offered   int64
+	carried   int64
+	msgDrop   int64
+	linkBytes map[topology.LinkID]int64
+}
+
+// runShardFuzz replays one fuzz-decoded traffic pattern on a k=4 fat-tree,
+// sequentially (shards <= 1) or sharded, and returns the observables.
+func runShardFuzz(t *testing.T, ft *fattree.FatTree, data []byte, shards int) shardFuzzResult {
+	t.Helper()
+	if len(data) < 3 {
+		t.Fatal("short fuzz input")
+	}
+	level := int(data[0]) % ft.NumAggregationPolicies()
+	fluid := data[1]%2 == 1
+	body := data[2:]
+
+	eng := sim.New()
+	cfg := DefaultConfig()
+	cfg.FluidBackground = fluid
+	net := New(eng, ft.Graph, cfg)
+	run := eng.Run
+	if shards > 1 {
+		part, err := ft.Partition(shards)
+		if err != nil {
+			t.Fatalf("partition: %v", err)
+		}
+		se := sim.NewSharded(eng, part.Shards, cfg.HopDelay)
+		defer se.Close()
+		if err := net.Shard(se, part); err != nil {
+			t.Fatalf("shard: %v", err)
+		}
+		run = se.Run
+	}
+	net.SetActive(ft.AggregationPolicy(level))
+
+	nh := len(ft.Hosts)
+	res := shardFuzzResult{}
+	var latSum float64
+	routed := map[flow.ID]bool{}
+	// One background elephant crossing pods, exercised through the fluid
+	// engine when the fluid bit is set and through per-shard packet pools
+	// otherwise.
+	bgID := flow.ID(90000)
+	bgPath := ft.PathByIndex(ft.Hosts[0], ft.Hosts[nh-1], 0)
+	if err := net.SetRoute(bgID, bgPath); err != nil {
+		t.Fatalf("bg route: %v", err)
+	}
+	bg := net.StartBackground(bgID, func() float64 { return 120e6 }, rng.Derive(7, "fuzz-bg"))
+
+	// Each 5-byte chunk is one message: src, dst, ECMP path index, size,
+	// send time. Routes may cross powered-off links at deep aggregation
+	// levels — those messages must drop identically in both engines.
+	for off := 0; off+5 <= len(body); off += 5 {
+		si := int(body[off]) % nh
+		di := int(body[off+1]) % nh
+		if si == di {
+			di = (di + 1) % nh
+		}
+		src, dst := ft.Hosts[si], ft.Hosts[di]
+		fid := flow.ID(si*nh + di)
+		if !routed[fid] {
+			idx := int(body[off+2]) % ft.NumPaths(src, dst)
+			if err := net.SetRoute(fid, ft.PathByIndex(src, dst, idx)); err != nil {
+				t.Fatalf("route %d: %v", fid, err)
+			}
+			routed[fid] = true
+		}
+		size := 200 + int(body[off+3])*23 // up to ~6 kB: multi-packet
+		at := 1e-4 + float64(body[off+4])*4e-5
+		eng.Schedule(at, func() {
+			net.SendMessage(fid, size,
+				func(l float64) { res.delivered++; latSum += l },
+				func() { res.droppedCb++ })
+		})
+	}
+	run(0.02)
+	bg.Stop()
+	run(0.03)
+
+	net.SyncStats()
+	res.latBits = math.Float64bits(latSum)
+	res.dropped = net.Dropped
+	res.tailDrops = net.TailDrops
+	res.offered = net.OfferedBytes
+	res.carried = net.CarriedBytes
+	res.msgDrop = net.MsgDropped
+	res.linkBytes = net.LinkBytes()
+	return res
+}
+
+// FuzzShardBarrier feeds random cross-pod traffic patterns — messages over
+// fuzz-chosen ECMP paths, some crossing powered-off links, plus a
+// background elephant, under every aggregation level with the fluid engine
+// on and off — through the sequential and the sharded engine and requires
+// identical observables: the message conservation identity
+// (submitted = delivered + dropped) and bit-identical latency sums, drop
+// and byte counters, and per-link byte maps.
+func FuzzShardBarrier(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 14, 3, 200, 50, 9, 2, 0, 100, 120})
+	f.Add([]byte{3, 1, 0, 15, 2, 255, 0, 5, 11, 1, 30, 60, 12, 4, 3, 80, 10})
+	f.Add([]byte{2, 0, 7, 8, 0, 10, 250, 1, 13, 2, 90, 5, 6, 9, 1, 7, 77})
+	f.Add([]byte{1, 1, 3, 3, 3, 3, 3})
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 || len(data) > 4096 {
+			t.Skip()
+		}
+		submitted := 0
+		for off := 2; off+5 <= len(data[2:])+2; off += 5 {
+			submitted++
+		}
+		seq := runShardFuzz(t, ft, data, 1)
+		if seq.delivered+seq.droppedCb != submitted {
+			t.Fatalf("conservation violated sequentially: %d delivered + %d dropped != %d submitted",
+				seq.delivered, seq.droppedCb, submitted)
+		}
+		for _, shards := range []int{2, 4} {
+			sh := runShardFuzz(t, ft, data, shards)
+			if sh.delivered+sh.droppedCb != submitted {
+				t.Fatalf("shards=%d conservation violated: %d delivered + %d dropped != %d submitted",
+					shards, sh.delivered, sh.droppedCb, submitted)
+			}
+			assertShardEquivalence(t, seq, sh, shards)
+		}
+	})
+}
+
+// TestShardBarrierSeeds replays the fuzz seed corpus as a plain test so the
+// equivalence assertions run under `go test` (and -race) without -fuzz.
+func TestShardBarrierSeeds(t *testing.T) {
+	ft, err := fattree.New(fattree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := [][]byte{
+		{0, 0, 1, 14, 3, 200, 50, 9, 2, 0, 100, 120},
+		{3, 1, 0, 15, 2, 255, 0, 5, 11, 1, 30, 60, 12, 4, 3, 80, 10},
+		{2, 0, 7, 8, 0, 10, 250, 1, 13, 2, 90, 5, 6, 9, 1, 7, 77},
+		{1, 1, 3, 3, 3, 3, 3},
+	}
+	for i, data := range seeds {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			seq := runShardFuzz(t, ft, data, 1)
+			for _, shards := range []int{2, 4} {
+				assertShardEquivalence(t, seq, runShardFuzz(t, ft, data, shards), shards)
+			}
+		})
+	}
+}
+
+// assertShardEquivalence fails the test unless the sharded observables are
+// identical to the sequential ones.
+func assertShardEquivalence(t *testing.T, seq, sh shardFuzzResult, shards int) {
+	t.Helper()
+	if seq.delivered != sh.delivered || seq.droppedCb != sh.droppedCb ||
+		seq.latBits != sh.latBits || seq.dropped != sh.dropped ||
+		seq.tailDrops != sh.tailDrops || seq.offered != sh.offered ||
+		seq.carried != sh.carried || seq.msgDrop != sh.msgDrop {
+		t.Fatalf("shards=%d diverged from sequential:\nseq %+v\nshd %+v", shards, seq, sh)
+	}
+	if len(seq.linkBytes) != len(sh.linkBytes) {
+		t.Fatalf("shards=%d link byte map size %d != %d", shards, len(sh.linkBytes), len(seq.linkBytes))
+	}
+	for id, b := range seq.linkBytes {
+		if sh.linkBytes[id] != b {
+			t.Fatalf("shards=%d link %d bytes %d != sequential %d", shards, id, sh.linkBytes[id], b)
+		}
+	}
+}

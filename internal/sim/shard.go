@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded runs one simulation split across several Engines in conservative
+// lockstep time windows. One engine per shard executes the shard's local
+// events; a separate control engine, owned by the caller's goroutine, runs
+// every process whose lookahead cannot be bounded (open arrival sources,
+// periodic controllers, the fluid-background tick).
+//
+// # Window protocol
+//
+// Let m be the earliest pending event time across all shard engines, c the
+// earliest pending control event, and L the conservative lookahead. Each
+// round runs:
+//
+//  1. E = min(m + L, c). All shards execute their events in [clock, E) in
+//     parallel (Engine.RunBefore) and advance their clocks to exactly E.
+//  2. Cross-shard handoffs produced during the window (Handoff) are drained
+//     into their destination engines in (source shard, FIFO) order — a
+//     deterministic total order, so reruns are bit-identical.
+//  3. The control engine runs through E on the caller's goroutine while
+//     every shard is quiesced, so control code may freely touch any shard's
+//     state and schedule onto any shard engine.
+//
+// Safety: every event executed in the window has time t ∈ [m, E) with
+// E ≤ m + L, and the model guarantees (see netsim) that an event at t can
+// influence another shard no earlier than t + L ≥ m + L ≥ E — after the
+// barrier, never inside the window. Handoffs therefore always land in the
+// future of their destination shard.
+//
+// # Clock-sync invariant
+//
+// After every barrier all shard clocks and the control clock equal E. Any
+// code running in control context can use After/Now on any engine and get
+// the same time base as the sequential simulator — this is what lets the
+// fluid-background tick and the Poisson arrival loop run unmodified.
+//
+// # Threading
+//
+// Run spawns one persistent worker goroutine per shard (lazily, on first
+// use) and parks them between Runs. Within a Run, windows are separated by
+// an atomic generation/acknowledge spin barrier (windows are microseconds
+// of simulated time; a channel round-trip per window would dominate).
+// Close terminates the workers; it is safe to call more than once.
+type Sharded struct {
+	ctrl      *Engine
+	engs      []*Engine
+	lookahead float64
+	out       [][]handoff // per-source-shard outboxes, merged at barriers
+	atStart   []func()    // quiesced hooks run at the top of every Run
+
+	// Published command state: written by the caller before bumping gen,
+	// read by workers after observing the bump (atomics give the
+	// happens-before edge).
+	mode      int
+	windowEnd float64
+	gen       atomic.Uint32
+	done      atomic.Int32
+
+	wake    []chan struct{}
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type handoff struct {
+	dst int
+	at  float64
+	fn  func()
+}
+
+const (
+	modeWindow = iota // RunBefore(windowEnd) then AdvanceTo(windowEnd)
+	modeFinal         // Run(windowEnd): inclusive, clock left at windowEnd
+	modePark          // acknowledge and block until the next Run
+	modeQuit          // acknowledge and exit
+)
+
+// NewSharded creates a sharded runner over the given control engine.
+// lookahead is the conservative bound L: an event in one shard must be
+// unable to influence another shard sooner than L seconds later. It must be
+// positive — a zero lookahead degenerates to fully sequential execution.
+func NewSharded(ctrl *Engine, shards int, lookahead float64) *Sharded {
+	if shards < 1 {
+		panic("sim: NewSharded needs at least one shard")
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("sim: NewSharded lookahead %g must be positive", lookahead))
+	}
+	se := &Sharded{
+		ctrl:      ctrl,
+		engs:      make([]*Engine, shards),
+		lookahead: lookahead,
+		out:       make([][]handoff, shards),
+		wake:      make([]chan struct{}, shards),
+	}
+	for i := range se.engs {
+		se.engs[i] = New()
+		se.wake[i] = make(chan struct{}, 1)
+	}
+	return se
+}
+
+// Shards returns the number of shards.
+func (se *Sharded) Shards() int { return len(se.engs) }
+
+// ShardEngine returns shard i's engine. Outside a Run (or from control
+// context at a barrier) it may be used freely; during a window only shard
+// i's worker may touch it.
+func (se *Sharded) ShardEngine(i int) *Engine { return se.engs[i] }
+
+// Control returns the control engine passed to NewSharded.
+func (se *Sharded) Control() *Engine { return se.ctrl }
+
+// Lookahead returns the conservative bound L.
+func (se *Sharded) Lookahead() float64 { return se.lookahead }
+
+// Now returns the control clock, which at every quiesced point equals all
+// shard clocks.
+func (se *Sharded) Now() float64 { return se.ctrl.Now() }
+
+// AtRunStart registers fn to run at the top of every Run, with all shards
+// quiesced. Model layers use it for work that must happen after
+// between-run reconfiguration but before any event executes (e.g. netsim
+// revalidating routes against a new active set).
+func (se *Sharded) AtRunStart(fn func()) { se.atStart = append(se.atStart, fn) }
+
+// Handoff schedules fn at absolute time at on shard dst's engine, on behalf
+// of shard src. It is the only way a shard may schedule onto another shard
+// during a window: the handoff is buffered in src's outbox and delivered at
+// the next barrier in (source shard, FIFO) order. at must be at or after
+// the end of the current window — the conservative lookahead guarantees
+// this for any correctly-modelled interaction.
+func (se *Sharded) Handoff(src, dst int, at float64, fn func()) {
+	se.out[src] = append(se.out[src], handoff{dst: dst, at: at, fn: fn})
+}
+
+// deliver drains every outbox into the destination engines. Deterministic:
+// outboxes are scanned in shard order and each is already in the source
+// shard's execution order.
+func (se *Sharded) deliver() {
+	for s := range se.out {
+		hs := se.out[s]
+		for i := range hs {
+			se.engs[hs[i].dst].Schedule(hs[i].at, hs[i].fn)
+			hs[i] = handoff{} // release the closure
+		}
+		se.out[s] = hs[:0]
+	}
+}
+
+// minShardTime returns the earliest pending event time across all shard
+// engines, or +Inf when all are idle.
+func (se *Sharded) minShardTime() float64 {
+	m := math.Inf(1)
+	for _, e := range se.engs {
+		if t, ok := e.PeekTime(); ok && t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// dispatch publishes one command to all workers and spin-waits for every
+// acknowledgement.
+func (se *Sharded) dispatch(mode int, windowEnd float64) {
+	se.mode = mode
+	se.windowEnd = windowEnd
+	se.done.Store(0)
+	se.gen.Add(1)
+	n := int32(len(se.engs))
+	for spins := 0; se.done.Load() != n; spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// worker is shard i's persistent goroutine.
+func (se *Sharded) worker(i int) {
+	defer se.wg.Done()
+	eng := se.engs[i]
+	last := uint32(0)
+	for {
+		g := se.gen.Load()
+		if g == last {
+			runtime.Gosched()
+			continue
+		}
+		last = g
+		switch se.mode {
+		case modeWindow:
+			end := se.windowEnd
+			eng.RunBefore(end)
+			eng.AdvanceTo(end)
+			se.done.Add(1)
+		case modeFinal:
+			eng.Run(se.windowEnd)
+			se.done.Add(1)
+		case modePark:
+			se.done.Add(1)
+			<-se.wake[i]
+		case modeQuit:
+			se.done.Add(1)
+			return
+		}
+	}
+}
+
+// ensureWorkers spawns the worker goroutines on first use and wakes them
+// from parked state on every subsequent Run.
+func (se *Sharded) ensureWorkers() {
+	if se.closed {
+		panic("sim: Run on closed Sharded")
+	}
+	if !se.started {
+		se.started = true
+		se.wg.Add(len(se.engs))
+		for i := range se.engs {
+			go se.worker(i)
+		}
+		return
+	}
+	for i := range se.wake {
+		se.wake[i] <- struct{}{}
+	}
+}
+
+// Run advances the whole sharded simulation to until, with the same
+// observable semantics as Engine.Run(until) on a single engine: every event
+// with time ≤ until executes, and all clocks are left at until. It must be
+// called from the goroutine that owns the control engine.
+func (se *Sharded) Run(until float64) {
+	for i, e := range se.engs {
+		if e.Now() != se.ctrl.Now() {
+			panic(fmt.Sprintf("sim: shard %d clock %g out of sync with control %g", i, e.Now(), se.ctrl.Now()))
+		}
+	}
+	se.ensureWorkers()
+	for _, fn := range se.atStart {
+		fn()
+	}
+	for {
+		// Drain any handoffs produced from control context at the previous
+		// barrier before computing the next horizon.
+		se.deliver()
+		m := se.minShardTime()
+		c, cok := se.ctrl.PeekTime()
+		if !cok {
+			c = math.Inf(1)
+		}
+		if math.Min(m, c) > until {
+			break
+		}
+		E := m + se.lookahead
+		if c < E {
+			E = c
+		}
+		if E > until {
+			// Tail round: everything left at or before until is closer
+			// than the next window boundary, so an inclusive Run(until)
+			// is safe (events in [m, until] ⊂ [m, m+L) cannot influence
+			// another shard before until).
+			if m <= until {
+				se.dispatch(modeFinal, until)
+				se.deliver()
+			}
+			se.ctrl.Run(until)
+			continue
+		}
+		if m < E {
+			se.dispatch(modeWindow, E)
+			se.deliver()
+		} else {
+			// No shard event strictly before E: advance clocks from the
+			// control goroutine without a barrier round-trip. This is the
+			// common case while only control processes are active.
+			for _, e := range se.engs {
+				e.AdvanceTo(E)
+			}
+		}
+		se.ctrl.Run(E)
+	}
+	// Nothing ≤ until remains anywhere; leave every clock at until.
+	for _, e := range se.engs {
+		e.AdvanceTo(until)
+	}
+	se.ctrl.Run(until)
+	se.dispatch(modePark, 0)
+}
+
+// Close terminates the worker goroutines. The Sharded cannot Run again.
+func (se *Sharded) Close() {
+	if se.closed {
+		return
+	}
+	se.closed = true
+	if se.started {
+		for i := range se.wake {
+			se.wake[i] <- struct{}{}
+		}
+		se.dispatch(modeQuit, 0)
+		se.wg.Wait()
+	}
+}

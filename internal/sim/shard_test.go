@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestPeekTimeSkipsCancelled(t *testing.T) {
+	e := New()
+	id := e.Schedule(1.0, func() {})
+	e.Schedule(2.0, func() {})
+	if tt, ok := e.PeekTime(); !ok || tt != 1.0 {
+		t.Fatalf("PeekTime = %v,%v want 1,true", tt, ok)
+	}
+	e.Cancel(id)
+	if tt, ok := e.PeekTime(); !ok || tt != 2.0 {
+		t.Fatalf("PeekTime after cancel = %v,%v want 2,true", tt, ok)
+	}
+	e.Run(3)
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on drained engine reported an event")
+	}
+}
+
+func TestRunBeforeIsExclusive(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunBefore(2)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("RunBefore(2) fired %v, want [1]", fired)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock %g after RunBefore, want 1 (last event time)", e.Now())
+	}
+	e.AdvanceTo(2)
+	if e.Now() != 2 {
+		t.Fatalf("AdvanceTo(2) left clock at %g", e.Now())
+	}
+}
+
+func TestAdvanceToPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := New()
+	e.AdvanceTo(5)
+	mustPanic("backwards", func() { e.AdvanceTo(4) })
+	e2 := New()
+	e2.Schedule(1, func() {})
+	mustPanic("past pending event", func() { e2.AdvanceTo(2) })
+}
+
+// TestShardedMatchesSequential runs the same random workload — local events
+// that reschedule themselves plus cross-shard sends at +lookahead — on one
+// engine and on a Sharded, and requires the identical execution trace.
+func TestShardedMatchesSequential(t *testing.T) {
+	const (
+		shards    = 3
+		lookahead = 0.5
+		until     = 40.0
+	)
+	// Deterministic pseudo-workload, identical for both engines. logs is
+	// per shard: under the Sharded engine each shard's worker appends only
+	// to its own slice, so the workload itself is race-free.
+	run := func(schedule func(shard int, at float64, fn func()), now func(shard int) float64, handoff func(src, dst int, at float64, fn func()), logs *[shards][]string) {
+		var step func(shard, depth int) func()
+		step = func(shard, depth int) func() {
+			return func() {
+				at := now(shard)
+				logs[shard] = append(logs[shard], fmt.Sprintf("d%d t%.6f", depth, at))
+				if depth > 6 {
+					return
+				}
+				// Local event inside the window-sized neighbourhood.
+				schedule(shard, at+0.13, step(shard, depth+1))
+				// Cross-shard influence, never sooner than lookahead.
+				dst := (shard + 1) % shards
+				handoff(shard, dst, at+lookahead, step(dst, depth+2))
+			}
+		}
+		for s := 0; s < shards; s++ {
+			schedule(s, 0.1*float64(s+1), step(s, 0))
+		}
+	}
+
+	// Sequential reference: one engine, shard IDs are just labels.
+	seq := New()
+	var seqLogs [shards][]string
+	run(
+		func(_ int, at float64, fn func()) { seq.Schedule(at, fn) },
+		func(int) float64 { return seq.Now() },
+		func(_, _ int, at float64, fn func()) { seq.Schedule(at, fn) },
+		&seqLogs,
+	)
+	seq.Run(until)
+
+	se := NewSharded(New(), shards, lookahead)
+	defer se.Close()
+	var shLogs [shards][]string
+	run(
+		func(s int, at float64, fn func()) { se.ShardEngine(s).Schedule(at, fn) },
+		func(s int) float64 { return se.ShardEngine(s).Now() },
+		se.Handoff,
+		&shLogs,
+	)
+	se.Run(until)
+
+	// The sharded engine interleaves shards within a window, but each
+	// shard's own sequence must match the sequential engine's order and
+	// times exactly.
+	for s := 0; s < shards; s++ {
+		a, b := seqLogs[s], shLogs[s]
+		if len(a) != len(b) {
+			t.Fatalf("shard %d event count: sequential %d sharded %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shard %d event %d: sequential %q sharded %q", s, i, a[i], b[i])
+			}
+		}
+	}
+	if got := se.Now(); got != until {
+		t.Fatalf("control clock %g after Run, want %g", got, until)
+	}
+	for s := 0; s < shards; s++ {
+		if got := se.ShardEngine(s).Now(); got != until {
+			t.Fatalf("shard %d clock %g after Run, want %g", s, got, until)
+		}
+	}
+}
+
+// TestShardedControlContext checks the clock-sync invariant: a control
+// event always observes every shard clock equal to its own time, and may
+// schedule directly onto shard engines.
+func TestShardedControlContext(t *testing.T) {
+	ctrl := New()
+	se := NewSharded(ctrl, 2, 0.25)
+	defer se.Close()
+	var fired []string
+	// Shard activity so windows actually advance.
+	var chatter func(s int) func()
+	chatter = func(s int) func() {
+		return func() {
+			if now := se.ShardEngine(s).Now(); now < 5 {
+				se.ShardEngine(s).Schedule(now+0.1, chatter(s))
+			}
+		}
+	}
+	se.ShardEngine(0).Schedule(0.05, chatter(0))
+	se.ShardEngine(1).Schedule(0.07, chatter(1))
+	var tick func()
+	tick = func() {
+		now := ctrl.Now()
+		for s := 0; s < 2; s++ {
+			if sn := se.ShardEngine(s).Now(); sn != now {
+				t.Errorf("control tick at %g saw shard %d clock %g", now, s, sn)
+			}
+		}
+		// Control may schedule onto any shard while quiesced.
+		se.ShardEngine(0).Schedule(now+0.01, func() {
+			fired = append(fired, fmt.Sprintf("injected@%.2f", now+0.01))
+		})
+		if now < 3 {
+			ctrl.After(1.0, tick)
+		}
+	}
+	ctrl.Schedule(1.0, tick)
+	se.Run(6)
+	if len(fired) != 3 {
+		t.Fatalf("injected events fired %d times (%v), want 3", len(fired), fired)
+	}
+}
+
+// TestShardedRepeatedRuns exercises worker park/wake across Run calls and
+// between-run reconfiguration via AtRunStart.
+func TestShardedRepeatedRuns(t *testing.T) {
+	se := NewSharded(New(), 2, 1.0)
+	defer se.Close()
+	starts := 0
+	se.AtRunStart(func() { starts++ })
+	count := 0
+	for r := 0; r < 4; r++ {
+		end := float64(r+1) * 10
+		se.ShardEngine(r%2).Schedule(end-0.5, func() { count++ })
+		se.Run(end)
+		if se.Now() != end {
+			t.Fatalf("run %d: clock %g want %g", r, se.Now(), end)
+		}
+	}
+	if starts != 4 || count != 4 {
+		t.Fatalf("starts=%d count=%d, want 4,4", starts, count)
+	}
+	se.Close() // idempotent
+}
+
+// TestShardedHandoffOrder pins the deterministic (source shard, FIFO)
+// delivery order for handoffs landing at the same destination time.
+func TestShardedHandoffOrder(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		se := NewSharded(New(), 3, 1.0)
+		var order []int
+		at := 1.0 + se.Lookahead()
+		for _, src := range []int{2, 0, 1} {
+			src := src
+			se.ShardEngine(src).Schedule(1.0, func() {
+				se.Handoff(src, 1, at, func() { order = append(order, src) })
+				se.Handoff(src, 1, at, func() { order = append(order, src+10) })
+			})
+		}
+		se.Run(3)
+		se.Close()
+		want := []int{0, 10, 1, 11, 2, 12}
+		if fmt.Sprint(order) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: delivery order %v, want %v", trial, order, want)
+		}
+	}
+}
+
+func TestShardedMinShardTime(t *testing.T) {
+	se := NewSharded(New(), 2, 1.0)
+	defer se.Close()
+	if m := se.minShardTime(); !math.IsInf(m, 1) {
+		t.Fatalf("idle minShardTime = %g, want +Inf", m)
+	}
+	se.ShardEngine(1).Schedule(4, func() {})
+	se.ShardEngine(0).Schedule(7, func() {})
+	if m := se.minShardTime(); m != 4 {
+		t.Fatalf("minShardTime = %g, want 4", m)
+	}
+}

@@ -1,0 +1,61 @@
+package topology
+
+import "fmt"
+
+// Partition assigns every node and every directed link of a Graph to one of
+// S shards for the sharded simulator (sim.Sharded / netsim). Nodes that no
+// shard owns — the fat-tree core layer — carry -1: a core switch is
+// transit-only, so only its directed links need owners.
+//
+// Directed-link ownership follows the arrival rule: the direction a→b is
+// owned by the shard that owns b (the packet arriving over it is b's
+// event). When b is unowned (a core switch), the direction is owned by a's
+// shard instead — the sender keeps custody of its uplink. This gives
+// exactly one cross-shard handoff per core crossing: agg→core is owned by
+// the source pod, core→agg by the destination pod.
+type Partition struct {
+	Shards    int
+	NodeShard []int32 // per NodeID; -1 for unowned (core) nodes
+	DirShard  []int32 // per Link.DirIndex
+}
+
+// NewPartition derives the directed-link ownership map from a node
+// assignment. nodeShard must have one entry per node, each in [-1, shards).
+// Every link must have at least one owned endpoint.
+func NewPartition(g *Graph, nodeShard []int32, shards int) (*Partition, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("topology: partition needs at least one shard, got %d", shards)
+	}
+	if len(nodeShard) != g.NumNodes() {
+		return nil, fmt.Errorf("topology: node assignment covers %d nodes, graph has %d", len(nodeShard), g.NumNodes())
+	}
+	for n, s := range nodeShard {
+		if s < -1 || int(s) >= shards {
+			return nil, fmt.Errorf("topology: node %d assigned to shard %d outside [-1, %d)", n, s, shards)
+		}
+	}
+	dir := make([]int32, 2*g.NumLinks())
+	for _, l := range g.Links() {
+		owner := func(to, from NodeID) (int32, error) {
+			if s := nodeShard[to]; s >= 0 {
+				return s, nil
+			}
+			if s := nodeShard[from]; s >= 0 {
+				return s, nil
+			}
+			return 0, fmt.Errorf("topology: link %d (%s-%s) has no owned endpoint",
+				l.ID, g.Node(l.A).Name, g.Node(l.B).Name)
+		}
+		ab, err := owner(l.B, l.A) // dir 2*ID carries A→B traffic
+		if err != nil {
+			return nil, err
+		}
+		ba, err := owner(l.A, l.B)
+		if err != nil {
+			return nil, err
+		}
+		dir[l.DirIndex(l.A)] = ab
+		dir[l.DirIndex(l.B)] = ba
+	}
+	return &Partition{Shards: shards, NodeShard: nodeShard, DirShard: dir}, nil
+}

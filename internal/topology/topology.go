@@ -175,6 +175,21 @@ func (p Path) Links(g *Graph) []LinkID {
 	return out
 }
 
+// DirLinksInto resolves the path's directed-link indices into buf's
+// backing array (buf may be nil), for callers scanning many candidate
+// paths without allocating. Panic behavior matches DirLinks.
+func (p Path) DirLinksInto(g *Graph, buf []int) []int {
+	buf = buf[:0]
+	for i := 0; i+1 < len(p); i++ {
+		id, ok := g.FindLink(p[i], p[i+1])
+		if !ok {
+			panic(fmt.Sprintf("topology: path hop %s-%s has no link", g.nodes[p[i]].Name, g.nodes[p[i+1]].Name))
+		}
+		buf = append(buf, g.links[id].DirIndex(p[i]))
+	}
+	return buf
+}
+
 // DirLinks resolves a path to directed-link indices (see Link.DirIndex).
 func (p Path) DirLinks(g *Graph) []int {
 	if len(p) < 2 {
@@ -308,15 +323,24 @@ func (a *ActiveSet) NodeOn(id NodeID) bool { return a.nodeOn[id] }
 // LinkOn reports whether a link is powered.
 func (a *ActiveSet) LinkOn(id LinkID) bool { return a.linkOn[id] }
 
-// PathOn reports whether every node and link on the path is powered.
+// PathOn reports whether every node and link on the path is powered. It is
+// allocation-free — consolidation calls it once per candidate path. The
+// first pass resolves every hop before any link state is read, preserving
+// Links' panic on a malformed path regardless of where an off link sits.
 func (a *ActiveSet) PathOn(p Path) bool {
 	for _, n := range p {
 		if !a.nodeOn[n] {
 			return false
 		}
 	}
-	for _, l := range p.Links(a.g) {
-		if !a.linkOn[l] {
+	for i := 0; i+1 < len(p); i++ {
+		if _, ok := a.g.FindLink(p[i], p[i+1]); !ok {
+			panic(fmt.Sprintf("topology: path hop %s-%s has no link", a.g.nodes[p[i]].Name, a.g.nodes[p[i+1]].Name))
+		}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		id, _ := a.g.FindLink(p[i], p[i+1])
+		if !a.linkOn[id] {
 			return false
 		}
 	}
