@@ -27,8 +27,13 @@
 #                     -shards 4 smoke sweep of the pod-sharded engine.
 #   make fuzz-short — a bounded run of the native fuzz targets (surge
 #                     multiplier safety, admission hysteresis invariants,
-#                     sharded-vs-sequential barrier equivalence);
-#                     FUZZTIME=30s lengthens each target's budget.
+#                     sharded-vs-sequential barrier equivalence, analytic-twin
+#                     monotonicity); FUZZTIME=30s lengthens each target's
+#                     budget.
+#   make twincheck  — validate the closed-form analytic twin against the
+#                     DES on the Fig 10 grid and the trained server table
+#                     (quick grid); fails when an in-domain cell breaks
+#                     the pinned error bands.
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -42,9 +47,9 @@ BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkNetsimBackgroun
 BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
 BENCHCOUNT ?= 3
 
-.PHONY: check build lint vet test race fuzz-short bench bench-json benchcmp
+.PHONY: check build lint vet test race fuzz-short bench bench-json benchcmp twincheck
 
-check: build lint test race
+check: build lint test race twincheck
 
 build:
 	$(GO) build ./...
@@ -73,6 +78,10 @@ fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run XXX -fuzz FuzzFluidPromoteDemote -fuzztime $(FUZZTIME) ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzShardBarrier -fuzztime $(FUZZTIME) ./internal/netsim
+	$(GO) test -run XXX -fuzz FuzzTwinMonotonic -fuzztime $(FUZZTIME) ./internal/twin
+
+twincheck:
+	$(GO) run ./cmd/joint -twincheck -quick
 
 bench:
 	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS)

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	epronsim [-quick] [-step 60] [-traces]
+//	epronsim -twin [-twink 74]
 //	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
 //	epronsim -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
 //
@@ -21,6 +22,11 @@
 // shedding, controller surge response) is compared against the
 // unprotected baseline. -audit enables runtime invariant checks in both
 // modes.
+//
+// The -twin mode answers closed-form what-if capacity queries on an
+// arbitrary fat-tree arity (default k=74, a 101,306-host fabric) with no
+// simulation at all — the analytic twin behind the planner's fast inner
+// loop (see `joint -twincheck` for its DES validation).
 package main
 
 import (
@@ -60,6 +66,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := flag.Int("shards", 1, "pod shards per packet simulation (conservative lockstep windows). The planner figures involve no packet simulation, and -faults/-overload need retries and admission control, which the sharded cluster envelope excludes — so any value other than 1 is rejected in those modes")
+	twinMode := flag.Bool("twin", false, "answer closed-form what-if capacity queries on a -twink fabric and exit (no simulation, no topology graph)")
+	twinK := flag.Int("twink", 74, "fat-tree arity for -twin (74 = 101,306 hosts)")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
 
@@ -95,6 +103,17 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *twinMode {
+		t, _, err := experiments.TwinCapacityTable(*twinK, []float64{0.01, 0.20, 0.50}, 0.30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println("\nrows marked CLAMPED are outside the validated domain; see `joint -twincheck`")
+		fmt.Println("for the DES validation and the pinned in-domain error bands.")
+		return
 	}
 
 	if *faultsMode {

@@ -8,6 +8,8 @@
 // Usage:
 //
 //	joint [-quick] [-bg 0.01,0.20,0.50]
+//	joint -twin [-twink 74] [-bg 0.01,0.20,0.50]
+//	joint -twincheck [-quick]
 //	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
 //	joint -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
 //
@@ -20,6 +22,12 @@
 // control + load shedding + controller surge response versus the
 // unprotected baseline across offered-load multipliers. -audit enables
 // runtime invariant checks in both modes.
+//
+// The -twin mode answers closed-form what-if capacity queries on an
+// arbitrary fat-tree arity (default k=74, a 101,306-host fabric) with no
+// simulation at all; -twincheck validates the closed forms against the
+// DES on the Fig 10 grid and the trained server table, failing when an
+// in-domain cell breaks the pinned error bands.
 package main
 
 import (
@@ -70,6 +78,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := flag.Int("shards", 1, "pod shards per packet simulation (conservative lockstep windows). The planner figures involve no packet simulation, and -faults/-overload need retries and admission control, which the sharded cluster envelope excludes — so any value other than 1 is rejected in those modes")
+	twinMode := flag.Bool("twin", false, "answer closed-form what-if capacity queries on a -twink fabric and exit (no simulation, no topology graph)")
+	twinK := flag.Int("twink", 74, "fat-tree arity for -twin (74 = 101,306 hosts)")
+	twinCheck := flag.Bool("twincheck", false, "validate the closed-form twin against the DES on the Fig 10 grid and the trained server table, then exit (non-zero when an in-domain cell breaks the pinned error bands)")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV")
 	flag.Parse()
 
@@ -105,6 +116,40 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *twinMode {
+		bgs, err := parseFloats(*bgArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, _, err := experiments.TwinCapacityTable(*twinK, bgs, 0.30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(t, *csvOut))
+		fmt.Println("\nerror bands (validated against the DES on the k=4 Fig 10 grid, see `joint -twincheck`):")
+		fmt.Println("  network p95: twin within 0.6x relative error in-domain (consistently optimistic);")
+		fmt.Println("  server power: within 0.45x relative error (consistently conservative).")
+		fmt.Println("rows marked CLAMPED are outside the validated domain — the bands do not apply there.")
+		return
+	}
+
+	if *twinCheck {
+		sum, err := experiments.TwinCheck(experiments.TwinCheckConfig{
+			Quick:   *quick,
+			Workers: *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(experiments.TwinCheckTable(sum), *csvOut))
+		fmt.Printf("\nin-domain cells %d (net max rel err %.1f%%, server max rel err %.1f%%); out-of-domain cells flagged: %d; feasibility disagreements: %d\n",
+			sum.InDomain, sum.NetMaxRel*100, sum.ServerMaxRel*100, sum.Clamped, sum.Disagree)
+		if sum.NetMaxRel > experiments.TwinNetRelBand || sum.ServerMaxRel > experiments.TwinServerRelBand {
+			log.Fatal("twincheck: in-domain error bands violated")
+		}
+		return
 	}
 
 	if *faultsMode {

@@ -57,7 +57,11 @@ func main() {
 				continue
 			}
 			utils := res.PathUtilizations(ft.Graph, f.ID)
-			if lat := model.PathQuantile(0.95, utils, ft.Cfg.LinkCapacityBps, 1500); lat > worst {
+			lat, err := model.PathQuantile(0.95, utils, ft.Cfg.LinkCapacityBps, 1500)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if lat > worst {
 				worst = lat
 			}
 		}

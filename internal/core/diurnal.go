@@ -19,10 +19,10 @@ import (
 // OptimizePeriod.
 type DiurnalConfig struct {
 	Planner *Planner
-	// Tables per policy: the planner's table is EPRONS's; baselines use
-	// their own training runs.
-	TimeTraderTable *ServerPowerTable
-	MaxFreqTable    *ServerPowerTable
+	// Server models per policy: the planner's model is EPRONS's; baselines
+	// use their own training runs (or a closed-form twin.Model).
+	TimeTraderTable ServerModel
+	MaxFreqTable    ServerModel
 
 	// SearchTrace and BgTrace are intensity curves — the synthetic
 	// workload.Trace shapes or a measured workload.SampledTrace loaded
@@ -240,8 +240,8 @@ func (cfg *DiurnalConfig) runEPRONS(steps []diurnalStep, out *DiurnalSeries) err
 }
 
 // runTableBaseline replays the day for a full-topology baseline (TimeTrader
-// or no-PM): pure per-step lookups into its trained table.
-func (cfg *DiurnalConfig) runTableBaseline(steps []diurnalStep, table *ServerPowerTable, budget, fullPower float64, out *DiurnalSeries) {
+// or no-PM): pure per-step lookups into its server model.
+func (cfg *DiurnalConfig) runTableBaseline(steps []diurnalStep, table ServerModel, budget, fullPower float64, out *DiurnalSeries) {
 	p := cfg.Planner
 	for _, st := range steps {
 		cpu, ok := table.Lookup(st.util, budget)

@@ -84,13 +84,26 @@ type Plan struct {
 	ServerPowerW  float64 // total across servers, incl. static
 	TotalPowerW   float64
 	Feasible      bool
+	// NetModelClamped reports that the analytic latency model clamped a
+	// link utilization into its domain while pricing this plan — the
+	// prediction is a flat extrapolation, not a validated estimate.
+	NetModelClamped bool
+}
+
+// ServerModel prices the server side of a plan: the CPU power (W) needed
+// to hold a tail-latency budget at a given utilization, and whether that
+// budget is achievable at all. The DES-trained *ServerPowerTable satisfies
+// it, and so does the closed-form twin.Model — letting the planner's inner
+// loop swap a trained table for an analytic model with no other changes.
+type ServerModel interface {
+	Lookup(util, budget float64) (float64, bool)
 }
 
 // Planner searches K to minimize total power (the Optimizer of Fig 7).
 type Planner struct {
 	Cfg   Config
 	FT    *fattree.FatTree
-	Table *ServerPowerTable
+	Table ServerModel
 	Net   netmodel.Analytic
 	// TrainedNet, when non-nil, overrides the analytic model with
 	// measured tail latencies per scale factor K (the paper's §IV-A
@@ -111,7 +124,7 @@ type Planner struct {
 }
 
 // NewPlanner wires a planner.
-func NewPlanner(cfg Config, ft *fattree.FatTree, table *ServerPowerTable) (*Planner, error) {
+func NewPlanner(cfg Config, ft *fattree.FatTree, table ServerModel) (*Planner, error) {
 	if ft == nil {
 		return nil, fmt.Errorf("core: nil fat-tree")
 	}
@@ -130,10 +143,10 @@ func NewPlanner(cfg Config, ft *fattree.FatTree, table *ServerPowerTable) (*Plan
 // latency-sensitive flows' paths under a consolidation result, using the
 // trained table when available (k identifies the operating point) and the
 // analytic model otherwise.
-func (p *Planner) predictTail(k int, res *consolidate.Result, flows []flow.Flow) float64 {
+func (p *Planner) predictTail(k int, res *consolidate.Result, flows []flow.Flow) (pred float64, clamped bool) {
 	if p.TrainedNet != nil {
 		if lat, err := p.TrainedNet.Lookup(k, p.worstUtil(res)); err == nil {
-			return lat
+			return lat, false
 		}
 	}
 	worst := 0.0
@@ -146,12 +159,18 @@ func (p *Planner) predictTail(k int, res *consolidate.Result, flows []flow.Flow)
 		if utils == nil {
 			continue
 		}
-		lat := p.Net.PathQuantile(p.Cfg.TailQuantile, utils, cap, p.Cfg.MsgBytes)
+		// cfg.fill() keeps TailQuantile in (0,1), so the only error
+		// PathQuantileClamped can return cannot occur here.
+		lat, c, err := p.Net.PathQuantileClamped(p.Cfg.TailQuantile, utils, cap, p.Cfg.MsgBytes)
+		if err != nil {
+			continue
+		}
+		clamped = clamped || c
 		if lat > worst {
 			worst = lat
 		}
 	}
-	return worst
+	return worst, clamped
 }
 
 // worstUtil returns the highest actual directed-link utilization of a
@@ -170,7 +189,7 @@ func (p *Planner) worstUtil(res *consolidate.Result) float64 {
 // models. networkPowerW overrides the active-set power when a fixed
 // aggregation policy defines what stays on.
 func (p *Planner) evaluate(k int, res *consolidate.Result, flows []flow.Flow, util, serverBudget float64, networkPowerW float64) *Plan {
-	pred := p.predictTail(k, res, flows)
+	pred, clamped := p.predictTail(k, res, flows)
 	reqBudget := p.Cfg.NetworkBudget * p.Cfg.RequestBudgetFrac
 	slack := reqBudget - pred
 	if slack < 0 {
@@ -183,7 +202,7 @@ func (p *Planner) evaluate(k int, res *consolidate.Result, flows []flow.Flow, ut
 		// Network eats into the server budget.
 		effBudget = serverBudget - (pred - p.Cfg.NetworkBudget)
 	}
-	plan := &Plan{K: k, Res: res, PredNetTailS: pred, SlackS: slack, NetworkPowerW: networkPowerW}
+	plan := &Plan{K: k, Res: res, PredNetTailS: pred, SlackS: slack, NetworkPowerW: networkPowerW, NetModelClamped: clamped}
 	if effBudget <= 0 {
 		return plan
 	}

@@ -38,14 +38,27 @@ func DefaultAnalytic() Analytic {
 	return Analytic{PacketBytes: 1500, HopDelay: 2e-6}
 }
 
+// UtilClampThreshold is the utilization above which the M/M/1 terms are
+// clamped: past ~0.98 the simulator is unstable anyway, so predictions
+// flatten there. Callers that care whether a prediction was clamped (i.e.
+// the model is extrapolating outside its validated domain) should use the
+// *Clamped variants or UtilClamped.
+const UtilClampThreshold = 0.98
+
+// UtilClamped reports whether clampUtil would alter this utilization —
+// i.e. whether a prediction at u is outside the model's validated domain.
+func UtilClamped(u float64) bool {
+	return u < 0 || u > UtilClampThreshold
+}
+
 // clampUtil keeps utilization strictly below 1 so the M/M/1 terms stay
-// finite; past ~0.98 the simulator is unstable anyway.
+// finite; past UtilClampThreshold the simulator is unstable anyway.
 func clampUtil(u float64) float64 {
 	if u < 0 {
 		return 0
 	}
-	if u > 0.98 {
-		return 0.98
+	if u > UtilClampThreshold {
+		return UtilClampThreshold
 	}
 	return u
 }
@@ -55,11 +68,20 @@ func clampUtil(u float64) float64 {
 // serialization plus M/M/1 queueing behind cross-traffic packets plus the
 // fixed hop delay.
 func (m Analytic) HopMean(util, capBps float64, msgBytes int) float64 {
+	v, _ := m.HopMeanClamped(util, capBps, msgBytes)
+	return v
+}
+
+// HopMeanClamped is HopMean plus a flag reporting whether the utilization
+// was clamped into the model's domain (the prediction is then a flat
+// extrapolation, not a trustworthy estimate).
+func (m Analytic) HopMeanClamped(util, capBps float64, msgBytes int) (float64, bool) {
+	clamped := UtilClamped(util)
 	util = clampUtil(util)
 	pktSvc := float64(m.PacketBytes) * 8 / capBps
 	ser := float64(msgBytes) * 8 / capBps
 	queue := util / (1 - util) * pktSvc
-	return m.scale() * (ser + queue + m.HopDelay)
+	return m.scale() * (ser + queue + m.HopDelay), clamped
 }
 
 func (m Analytic) scale() float64 {
@@ -72,11 +94,21 @@ func (m Analytic) scale() float64 {
 // PathMean sums HopMean over a path's per-link utilizations. capBps applies
 // to every hop (homogeneous fat-tree links).
 func (m Analytic) PathMean(utils []float64, capBps float64, msgBytes int) float64 {
+	v, _ := m.PathMeanClamped(utils, capBps, msgBytes)
+	return v
+}
+
+// PathMeanClamped is PathMean plus a flag reporting whether any hop's
+// utilization was clamped into the model's domain.
+func (m Analytic) PathMeanClamped(utils []float64, capBps float64, msgBytes int) (float64, bool) {
 	s := 0.0
+	clamped := false
 	for _, u := range utils {
-		s += m.HopMean(u, capBps, msgBytes)
+		v, c := m.HopMeanClamped(u, capBps, msgBytes)
+		s += v
+		clamped = clamped || c
 	}
-	return s
+	return s, clamped
 }
 
 // PathQuantile estimates the q-quantile of path latency. Per-hop sojourn in
@@ -85,21 +117,31 @@ func (m Analytic) PathMean(utils []float64, capBps float64, msgBytes int) float6
 // hop's quantile and adding the means of the rest — a deliberate,
 // documented approximation that preserves the knee shape used for slack
 // planning.
-func (m Analytic) PathQuantile(q float64, utils []float64, capBps float64, msgBytes int) float64 {
+//
+// Like queueing.MM1SojournQuantile, q outside (0,1) is an error — it used
+// to be silently coerced (q≤0 → 0.5, q≥1 → 0.999), which hid caller bugs.
+func (m Analytic) PathQuantile(q float64, utils []float64, capBps float64, msgBytes int) (float64, error) {
+	v, _, err := m.PathQuantileClamped(q, utils, capBps, msgBytes)
+	return v, err
+}
+
+// PathQuantileClamped is PathQuantile plus a flag reporting whether any
+// hop's utilization was clamped into the model's domain (the tail estimate
+// is then a flat extrapolation).
+func (m Analytic) PathQuantileClamped(q float64, utils []float64, capBps float64, msgBytes int) (float64, bool, error) {
+	if q <= 0 || q >= 1 {
+		return 0, false, fmt.Errorf("netmodel: quantile %g out of (0,1)", q)
+	}
 	if len(utils) == 0 {
-		return 0
-	}
-	if q <= 0 {
-		q = 0.5
-	}
-	if q >= 1 {
-		q = 0.999
+		return 0, false, nil
 	}
 	worst := 0
+	clamped := false
 	for i, u := range utils {
 		if u > utils[worst] {
 			worst = i
 		}
+		clamped = clamped || UtilClamped(u)
 	}
 	total := 0.0
 	for i, u := range utils {
@@ -115,7 +157,7 @@ func (m Analytic) PathQuantile(q float64, utils []float64, capBps float64, msgBy
 	rate := mu - lambda
 	tailQ := -math.Log(1-q) / rate
 	ser := float64(msgBytes) * 8 / capBps
-	return total + m.scale()*(ser+tailQ+m.HopDelay)
+	return total + m.scale()*(ser+tailQ+m.HopDelay), clamped, nil
 }
 
 // Trained is an empirical latency table: for each integer operating point
@@ -137,10 +179,17 @@ func NewTrained() *Trained {
 	return &Trained{points: make(map[int][]sample)}
 }
 
-// Add records a measurement for an operating point.
+// Add records a measurement for an operating point. Samples are kept
+// sorted by utilization with a stable tie rule: a new sample with a
+// utilization equal to existing ones is inserted after them, so
+// interpolation across duplicate utils depends only on insertion order —
+// never on the whims of an unstable sort.
 func (t *Trained) Add(point int, util, latency float64) {
-	s := append(t.points[point], sample{util: util, latency: latency})
-	sort.Slice(s, func(i, j int) bool { return s[i].util < s[j].util })
+	s := t.points[point]
+	i := sort.Search(len(s), func(i int) bool { return s[i].util > util })
+	s = append(s, sample{})
+	copy(s[i+1:], s[i:])
+	s[i] = sample{util: util, latency: latency}
 	t.points[point] = s
 }
 

@@ -47,23 +47,76 @@ func TestPathQuantileAboveMean(t *testing.T) {
 	m := DefaultAnalytic()
 	utils := []float64{0.2, 0.6, 0.4}
 	mean := m.PathMean(utils, 1e9, 1500)
-	p95 := m.PathQuantile(0.95, utils, 1e9, 1500)
-	p99 := m.PathQuantile(0.99, utils, 1e9, 1500)
+	p95, err := m.PathQuantile(0.95, utils, 1e9, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := m.PathQuantile(0.99, utils, 1e9, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p95 <= mean*0.5 {
 		t.Fatalf("p95 %g too small vs mean %g", p95, mean)
 	}
 	if p99 <= p95 {
 		t.Fatalf("p99 %g <= p95 %g", p99, p95)
 	}
-	if m.PathQuantile(0.95, nil, 1e9, 1500) != 0 {
-		t.Fatal("empty path quantile must be 0")
+	if v, err := m.PathQuantile(0.95, nil, 1e9, 1500); err != nil || v != 0 {
+		t.Fatalf("empty path quantile must be 0, got %g, %v", v, err)
 	}
-	// Degenerate q values clamp rather than blow up.
-	if v := m.PathQuantile(0, utils, 1e9, 1500); v <= 0 || math.IsInf(v, 0) {
-		t.Fatalf("q=0 gave %g", v)
+}
+
+// Regression: PathQuantile used to silently coerce q≤0 → 0.5 and q≥1 →
+// 0.999 while queueing.MM1SojournQuantile errors on the same inputs. The
+// two packages now agree: out-of-range q is an error.
+func TestPathQuantileOutOfRangeQErrors(t *testing.T) {
+	m := DefaultAnalytic()
+	utils := []float64{0.2, 0.6, 0.4}
+	for _, q := range []float64{0, -0.5, 1, 1.5} {
+		if _, err := m.PathQuantile(q, utils, 1e9, 1500); err == nil {
+			t.Fatalf("q=%g accepted", q)
+		}
+		// Even an empty path must reject a bad quantile first.
+		if _, err := m.PathQuantile(q, nil, 1e9, 1500); err == nil {
+			t.Fatalf("q=%g accepted on empty path", q)
+		}
 	}
-	if v := m.PathQuantile(1, utils, 1e9, 1500); v <= 0 || math.IsInf(v, 0) {
-		t.Fatalf("q=1 gave %g", v)
+}
+
+// The clamp indicator: predictions above UtilClampThreshold flatten (the
+// old silent behavior, preserved bit-for-bit) but now report clamped=true
+// so callers know the model is extrapolating.
+func TestClampedIndicators(t *testing.T) {
+	m := DefaultAnalytic()
+	if !UtilClamped(0.99) || !UtilClamped(-0.1) || UtilClamped(0.5) || UtilClamped(UtilClampThreshold) {
+		t.Fatal("UtilClamped misclassifies")
+	}
+	v, c := m.HopMeanClamped(0.99, 1e9, 1500)
+	if !c {
+		t.Fatal("over-threshold hop not flagged")
+	}
+	if v != m.HopMean(0.99, 1e9, 1500) {
+		t.Fatal("HopMeanClamped value differs from HopMean")
+	}
+	// The flattening itself is the bug being surfaced: 0.99 and 2.0
+	// predict identically, which is exactly why the flag must be set.
+	if v2 := m.HopMean(2.0, 1e9, 1500); v2 != v {
+		t.Fatalf("saturated predictions should flatten: %g vs %g", v2, v)
+	}
+	if _, c := m.HopMeanClamped(0.5, 1e9, 1500); c {
+		t.Fatal("in-domain hop flagged")
+	}
+	if _, c := m.PathMeanClamped([]float64{0.2, 0.99, 0.4}, 1e9, 1500); !c {
+		t.Fatal("path with saturated hop not flagged")
+	}
+	if _, c := m.PathMeanClamped([]float64{0.2, 0.4}, 1e9, 1500); c {
+		t.Fatal("in-domain path flagged")
+	}
+	if _, c, err := m.PathQuantileClamped(0.95, []float64{0.2, 0.99}, 1e9, 1500); err != nil || !c {
+		t.Fatalf("quantile with saturated hop not flagged (err=%v)", err)
+	}
+	if _, c, err := m.PathQuantileClamped(0.95, []float64{0.2, 0.6}, 1e9, 1500); err != nil || c {
+		t.Fatalf("in-domain quantile flagged (err=%v)", err)
 	}
 }
 
@@ -100,6 +153,51 @@ func TestTrainedLookup(t *testing.T) {
 	near, err := tr.Lookup(4, 0.3)
 	if err != nil || math.Abs(near-3e-3) > 1e-12 {
 		t.Fatalf("nearest-point fallback %g, %v", near, err)
+	}
+}
+
+// Regression: Trained.Add used an unstable sort.Slice per insert, so
+// duplicate-util samples could interpolate order-dependently. The sorted
+// insert keeps equal-util samples in insertion order regardless of what
+// surrounds them.
+func TestTrainedDuplicateUtilDeterminism(t *testing.T) {
+	build := func(order []struct{ u, l float64 }) *Trained {
+		tr := NewTrained()
+		for _, s := range order {
+			tr.Add(7, s.u, s.l)
+		}
+		return tr
+	}
+	// Two tables with the same duplicate pair added in the same relative
+	// order but with different surrounding inserts must agree everywhere.
+	a := build([]struct{ u, l float64 }{
+		{0.3, 1e-3}, {0.3, 9e-3}, {0.1, 5e-4}, {0.5, 2e-2},
+	})
+	b := build([]struct{ u, l float64 }{
+		{0.1, 5e-4}, {0.5, 2e-2}, {0.3, 1e-3}, {0.3, 9e-3},
+	})
+	for _, u := range []float64{0, 0.1, 0.2, 0.3, 0.35, 0.4, 0.5, 0.9} {
+		va, err1 := a.Lookup(7, u)
+		vb, err2 := b.Lookup(7, u)
+		if err1 != nil || err2 != nil || va != vb {
+			t.Fatalf("u=%g: %g vs %g (%v %v)", u, va, vb, err1, err2)
+		}
+	}
+	// And many repeated builds of the same sequence are bit-identical —
+	// the old unstable sort made this flaky in principle.
+	ref, _ := a.Lookup(7, 0.3)
+	for i := 0; i < 50; i++ {
+		c := build([]struct{ u, l float64 }{
+			{0.3, 1e-3}, {0.3, 9e-3}, {0.1, 5e-4}, {0.5, 2e-2},
+		})
+		if v, _ := c.Lookup(7, 0.3); v != ref {
+			t.Fatalf("iteration %d: %g != %g", i, v, ref)
+		}
+	}
+	// The tie rule is "insert after equals": an exact-match lookup on a
+	// duplicated util hits the first of the pair (sort.Search lower bound).
+	if ref != 1e-3 {
+		t.Fatalf("exact-match on duplicate util = %g, want first-inserted 1e-3", ref)
 	}
 }
 

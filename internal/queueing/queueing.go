@@ -49,13 +49,16 @@ func MG1MeanWait(lambda, meanS, scv float64) (float64, error) {
 	if meanS <= 0 {
 		return 0, fmt.Errorf("queueing: mean service %g must be positive", meanS)
 	}
-	rho := lambda * meanS
-	if rho >= 1 {
-		return 0, fmt.Errorf("queueing: unstable (rho=%g)", rho)
+	// Same admissibility contract as the M/M/1 helpers: λ<0 is a caller
+	// bug, not an empty queue — stable() rejects it instead of letting a
+	// negative ρ flow through P-K and come back as a negative wait.
+	if err := stable(lambda, 1/meanS); err != nil {
+		return 0, err
 	}
 	if scv < 0 {
 		return 0, fmt.Errorf("queueing: negative scv")
 	}
+	rho := lambda * meanS
 	return rho * (1 + scv) / 2 * meanS / (1 - rho), nil
 }
 
@@ -65,7 +68,12 @@ func ErlangC(c int, a float64) (float64, error) {
 	if c <= 0 {
 		return 0, fmt.Errorf("queueing: need at least one server")
 	}
-	if a <= 0 {
+	if a < 0 {
+		// A negative offered load means a negative arrival rate upstream;
+		// report it instead of masquerading as an idle system.
+		return 0, fmt.Errorf("queueing: negative offered load %g", a)
+	}
+	if a == 0 {
 		return 0, nil
 	}
 	if a >= float64(c) {
@@ -88,12 +96,35 @@ func MMcMeanWait(c int, lambda, mu float64) (float64, error) {
 	if mu <= 0 {
 		return 0, fmt.Errorf("queueing: service rate must be positive")
 	}
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate")
+	}
 	a := lambda / mu
 	pw, err := ErlangC(c, a)
 	if err != nil {
 		return 0, err
 	}
 	return pw / (float64(c)*mu - lambda), nil
+}
+
+// MGcMeanWait approximates the mean waiting time in an M/G/c queue via the
+// Lee–Longton correction: W_{M/G/c} ≈ W_{M/M/c} · (1+scv)/2, where scv is
+// the squared coefficient of variation of service time. At c=1 this is the
+// exact Pollaczek–Khinchine mean, so MGcMeanWait(1, λ, E[S], scv) agrees
+// with MG1MeanWait(λ, E[S], scv). The analytic twin uses this to price
+// multi-core server queueing without an event loop.
+func MGcMeanWait(c int, lambda, meanS, scv float64) (float64, error) {
+	if meanS <= 0 {
+		return 0, fmt.Errorf("queueing: mean service %g must be positive", meanS)
+	}
+	if scv < 0 {
+		return 0, fmt.Errorf("queueing: negative scv")
+	}
+	w, err := MMcMeanWait(c, lambda, 1/meanS)
+	if err != nil {
+		return 0, err
+	}
+	return w * (1 + scv) / 2, nil
 }
 
 func stable(lambda, mu float64) error {

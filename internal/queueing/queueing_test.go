@@ -65,6 +65,77 @@ func TestMG1Validation(t *testing.T) {
 	}
 }
 
+// Regression: MG1MeanWait(-1, 0.5, 1) used to return a negative wait and
+// MMcMeanWait a silent 0 — negative arrival rates must be rejected, λ=0
+// must mean an empty queue, and ρ→1⁻ must stay finite but blow up.
+func TestArrivalRateEdgeCases(t *testing.T) {
+	if w, err := MG1MeanWait(-1, 0.5, 1); err == nil {
+		t.Fatalf("MG1MeanWait(-1,…) accepted negative lambda, returned %g", w)
+	}
+	if w, err := MMcMeanWait(4, -1, 1); err == nil {
+		t.Fatalf("MMcMeanWait(-1,…) accepted negative lambda, returned %g", w)
+	}
+	if _, err := MGcMeanWait(4, -1, 0.5, 1); err == nil {
+		t.Fatal("MGcMeanWait accepted negative lambda")
+	}
+	if _, err := ErlangC(4, -0.5); err == nil {
+		t.Fatal("ErlangC accepted negative offered load")
+	}
+
+	// λ=0: empty system, zero wait, no error.
+	if w, err := MG1MeanWait(0, 0.5, 1); err != nil || w != 0 {
+		t.Fatalf("MG1MeanWait(0,…) = %g, %v; want 0, nil", w, err)
+	}
+	if w, err := MMcMeanWait(4, 0, 1); err != nil || w != 0 {
+		t.Fatalf("MMcMeanWait(0,…) = %g, %v; want 0, nil", w, err)
+	}
+	if w, err := MGcMeanWait(4, 0, 0.5, 1); err != nil || w != 0 {
+		t.Fatalf("MGcMeanWait(0,…) = %g, %v; want 0, nil", w, err)
+	}
+
+	// ρ→1⁻: finite, strictly increasing, large; ρ=1 rejected.
+	prev := 0.0
+	for _, rho := range []float64{0.9, 0.99, 0.999} {
+		w, err := MG1MeanWait(rho, 1, 1)
+		if err != nil || math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Fatalf("rho=%g: w=%g err=%v", rho, w, err)
+		}
+		if w <= prev {
+			t.Fatalf("wait not increasing toward saturation: %g <= %g", w, prev)
+		}
+		prev = w
+	}
+	if _, err := MG1MeanWait(1, 1, 1); err == nil {
+		t.Fatal("rho=1 accepted")
+	}
+	if _, err := MMcMeanWait(2, 2, 1); err == nil {
+		t.Fatal("MMc rho=1 accepted")
+	}
+}
+
+func TestMGcReducesToKnownForms(t *testing.T) {
+	// c=1, any scv: Lee–Longton is exact P-K.
+	for _, scv := range []float64{0, 0.42, 1, 2.5} {
+		pk, _ := MG1MeanWait(0.7, 1, scv)
+		mgc, err := MGcMeanWait(1, 0.7, 1, scv)
+		if err != nil || math.Abs(mgc-pk) > 1e-12 {
+			t.Fatalf("scv=%g: MGc(1)=%g vs PK=%g err=%v", scv, mgc, pk, err)
+		}
+	}
+	// scv=1, any c: reduces to M/M/c.
+	mmc, _ := MMcMeanWait(4, 3, 1)
+	mgc, err := MGcMeanWait(4, 3, 1, 1)
+	if err != nil || math.Abs(mgc-mmc) > 1e-12 {
+		t.Fatalf("MGc(4,scv=1)=%g vs MMc=%g err=%v", mgc, mmc, err)
+	}
+	if _, err := MGcMeanWait(4, 3, 0, 1); err == nil {
+		t.Fatal("zero mean service accepted")
+	}
+	if _, err := MGcMeanWait(4, 3, 1, -1); err == nil {
+		t.Fatal("negative scv accepted")
+	}
+}
+
 func TestErlangCKnownValues(t *testing.T) {
 	// c=1 reduces to ρ.
 	for _, a := range []float64{0.2, 0.5, 0.9} {
