@@ -23,12 +23,19 @@
 #                     and print benchstat-style deltas between the two runs
 #                     (a noise-floor check); or compare two recorded runs:
 #                     make benchcmp OLD=old.txt NEW=new.txt
+#   make benchguard — run the tier-1 benches once and compare against the
+#                     latest BENCH_<n>.json snapshot; fails (exit != 0) when
+#                     any benchmark's B/op or allocs/op grew more than
+#                     $(BENCHGUARD_PCT)% (ns/op is reported but not gated —
+#                     wall time is machine-sensitive, allocation counts are
+#                     deterministic). Part of `make check`.
 #   make race       — just the race-detector subset, plus a race-enabled
 #                     -shards 4 smoke sweep of the pod-sharded engine.
 #   make fuzz-short — a bounded run of the native fuzz targets (surge
 #                     multiplier safety, admission hysteresis invariants,
 #                     sharded-vs-sequential barrier equivalence, analytic-twin
-#                     monotonicity); FUZZTIME=30s lengthens each target's
+#                     monotonicity, route-segment intern/materialize
+#                     equivalence); FUZZTIME=30s lengthens each target's
 #                     budget.
 #   make twincheck  — validate the closed-form analytic twin against the
 #                     DES on the Fig 10 grid and the trained server table
@@ -46,10 +53,11 @@ GOFMT ?= gofmt
 BENCH_PATTERN = 'BenchmarkEngine|BenchmarkNetsimForward|BenchmarkNetsimBackground|BenchmarkFFT|BenchmarkDVFS|BenchmarkAblationConvolution|BenchmarkFig10|BenchmarkFig15DiurnalSavings'
 BENCH_PKGS = . ./internal/sim ./internal/netsim ./internal/fft ./internal/dvfs
 BENCHCOUNT ?= 3
+BENCHGUARD_PCT ?= 10
 
-.PHONY: check build lint vet test race fuzz-short bench bench-json benchcmp twincheck
+.PHONY: check build lint vet test race fuzz-short bench bench-json benchcmp benchguard twincheck
 
-check: build lint test race twincheck
+check: build lint test race twincheck benchguard
 
 build:
 	$(GO) build ./...
@@ -79,6 +87,7 @@ fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzFluidPromoteDemote -fuzztime $(FUZZTIME) ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzShardBarrier -fuzztime $(FUZZTIME) ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzTwinMonotonic -fuzztime $(FUZZTIME) ./internal/twin
+	$(GO) test -run XXX -fuzz FuzzRouteIntern -fuzztime $(FUZZTIME) ./internal/fattree
 
 twincheck:
 	$(GO) run ./cmd/joint -twincheck -quick
@@ -89,6 +98,18 @@ bench:
 bench-json:
 	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem -count $(BENCHCOUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson
+
+# Memory-regression gate: a fresh single-count tier-1 bench run against the
+# newest recorded snapshot. B/op and allocs/op are stable enough to gate
+# hard; ns/op deltas are printed for the eyeball only.
+benchguard:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$base" ]; then echo "benchguard: no BENCH_<n>.json baseline; run make bench-json first"; exit 1; fi; \
+	new=$$(mktemp); \
+	echo "benchguard: tier-1 bench run vs $$base (threshold $(BENCHGUARD_PCT)% on B/op, allocs/op)..."; \
+	$(GO) test -run XXX -bench $(BENCH_PATTERN) -benchmem $(BENCH_PKGS) > $$new || { cat $$new; rm -f $$new; exit 1; }; \
+	$(GO) run ./cmd/benchcmp -guard -threshold $(BENCHGUARD_PCT) $$base $$new; st=$$?; \
+	rm -f $$new; exit $$st
 
 benchcmp:
 ifdef OLD

@@ -193,6 +193,27 @@ func BenchmarkFig10K16Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFig10K32 regenerates a Fig 10 cell on the 32-ary fat-tree:
+// 8192 hosts, 1280 switches, ~67M ordered host pairs. This scale is only
+// reachable through the flyweight route plane — ECMP routing flips to the
+// on-demand resolver (no precomputed all-pairs route table) and each
+// resolved route interns into the shared segment arena as a 12-byte ref,
+// so the route-plane footprint is the segments actually exercised by
+// traffic, not the pair space.
+func BenchmarkFig10K32(b *testing.B) {
+	cfg := experiments.NetLatencyConfig{
+		DurationS: 0.05, K: 32, Fluid: true, ECMPQueries: true, Shards: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].P95S*1e6, "us-p95@agg0")
+		b.ReportMetric(rows[1].P95S*1e6, "us-p95@agg3")
+	}
+}
+
 func BenchmarkFig11ScaleFactorTradeoff(b *testing.B) {
 	cfg := experiments.NetLatencyConfig{DurationS: 1.5}
 	for i := 0; i < b.N; i++ {

@@ -33,8 +33,8 @@ import (
 	"eprons/internal/experiments"
 )
 
-func dump(w io.Writer, shards int) error {
-	cfg := experiments.NetLatencyConfig{DurationS: 1.5, Shards: shards}
+func dump(w io.Writer, shards int, fluid bool) error {
+	cfg := experiments.NetLatencyConfig{DurationS: 1.5, Shards: shards, Fluid: fluid}
 	rows10, err := experiments.Fig10AggregationLatency([]int{0, 3}, []float64{0.20}, cfg)
 	if err != nil {
 		return err
@@ -70,9 +70,10 @@ func dump(w io.Writer, shards int) error {
 
 func main() {
 	shards := flag.Int("shards", 1, "pod shards for the packet simulations (1 = sequential engine; output is identical for every value)")
+	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background engine for the packet simulations")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: figdump [-shards n] <out-file|->")
+		fmt.Fprintln(os.Stderr, "usage: figdump [-shards n] [-fluid] <out-file|->")
 		os.Exit(2)
 	}
 	var w io.Writer = os.Stdout
@@ -85,7 +86,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := dump(w, *shards); err != nil {
+	if err := dump(w, *shards, *fluid); err != nil {
 		fmt.Fprintln(os.Stderr, "figdump:", err)
 		os.Exit(1)
 	}

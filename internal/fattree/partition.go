@@ -62,17 +62,26 @@ func (ft *FatTree) NumPaths(src, dst topology.NodeID) int {
 // ECMP fast path for large fabrics, where enumerating (k/2)² paths per
 // host pair is prohibitive. idx must be in [0, NumPaths(src, dst)).
 func (ft *FatTree) PathByIndex(src, dst topology.NodeID, idx int) topology.Path {
+	return ft.PathByIndexInto(src, dst, idx, nil)
+}
+
+// PathByIndexInto is the scratch-reuse variant of PathByIndex: the path
+// is built into buf's backing array (buf may be nil), so callers probing
+// many candidates — the ECMP route construction probes per ordered host
+// pair — allocate nothing once the scratch has grown to path length.
+func (ft *FatTree) PathByIndexInto(src, dst topology.NodeID, idx int, buf topology.Path) topology.Path {
 	half := ft.Cfg.K / 2
 	sp, se := ft.hostPod[src], ft.hostEdge[src]
 	dp, de := ft.hostPod[dst], ft.hostEdge[dst]
+	buf = buf[:0]
 	if sp == dp && se == de {
-		return topology.Path{src, ft.Edge(sp, se), dst}
+		return append(buf, src, ft.Edge(sp, se), dst)
 	}
 	if sp == dp {
-		return topology.Path{src, ft.Edge(sp, se), ft.Agg(sp, idx), ft.Edge(dp, de), dst}
+		return append(buf, src, ft.Edge(sp, se), ft.Agg(sp, idx), ft.Edge(dp, de), dst)
 	}
 	grp, i := idx/half, idx%half
-	return topology.Path{
+	return append(buf,
 		src,
 		ft.Edge(sp, se),
 		ft.Agg(sp, grp),
@@ -80,5 +89,5 @@ func (ft *FatTree) PathByIndex(src, dst topology.NodeID, idx int) topology.Path 
 		ft.Agg(dp, grp),
 		ft.Edge(dp, de),
 		dst,
-	}
+	)
 }

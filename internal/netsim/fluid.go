@@ -46,6 +46,7 @@ import (
 	"eprons/internal/flow"
 	"eprons/internal/rng"
 	"eprons/internal/sim"
+	"eprons/internal/topology"
 )
 
 // fluidPromoteFrac is the hysteresis band: a demoted direction promotes
@@ -80,8 +81,9 @@ type fluidSource struct {
 	// analytic bytes accrue at until the next poll).
 	rBps float64
 	// rt is the route the reservation was applied to (accrual credits
-	// its hop directions).
-	rt *route
+	// its hop directions); routed reports whether rt is meaningful.
+	rt     topology.RouteRef
+	routed bool
 	// lastAccrue is the sim time analytic bytes were last credited;
 	// frac carries the sub-byte remainder.
 	lastAccrue float64
@@ -135,8 +137,8 @@ func (n *Network) startFluidBackground(b *Background, fid flow.ID, rate func() f
 	s := &fluidSource{fid: fid, rate: rate, stream: stream, b: b}
 	s.seng = n.eng
 	if n.shd != nil {
-		if rt, ok := n.routes[fid]; ok && len(rt.hops) > 0 {
-			s.seng = n.shd.sh[n.shd.dir[rt.hops[0].Dir]].eng
+		if rt, ok := n.routes.get(fid); ok && rt.NumHops() > 0 {
+			s.seng = n.shd.sh[n.shd.dir[n.arena.FirstDir(rt)]].eng
 		}
 	}
 	b.n = n
@@ -163,13 +165,13 @@ func (n *Network) startFluidBackground(b *Background, fid flow.ID, rate func() f
 		if b.stop || s.fluid {
 			return
 		}
-		if rt, ok := n.routes[s.fid]; ok {
+		if rt, ok := n.lookupRoute(s.fid); ok {
 			if n.shd != nil {
-				sh := &n.shd.sh[n.shd.dir[rt.hops[0].Dir]]
+				sh := &n.shd.sh[n.shd.dir[n.arena.FirstDir(rt)]]
 				pk := n.acquirePacketShard(sh)
 				pk.fid = s.fid
 				pk.rt = rt
-				pk.bytes = n.Cfg.PacketBytes
+				pk.bytes = int32(n.Cfg.PacketBytes)
 				pk.hop = 0
 				pk.hi = n.highPrio[s.fid]
 				pk.msg = nil
@@ -178,7 +180,7 @@ func (n *Network) startFluidBackground(b *Background, fid flow.ID, rate func() f
 				pk := n.acquirePacket()
 				pk.fid = s.fid
 				pk.rt = rt
-				pk.bytes = n.Cfg.PacketBytes
+				pk.bytes = int32(n.Cfg.PacketBytes)
 				pk.hop = 0
 				pk.hi = n.highPrio[s.fid]
 				pk.msg = nil
@@ -238,7 +240,7 @@ func (n *Network) stopFluidSource(s *fluidSource) {
 func (n *Network) accrueFluid(s *fluidSource, now float64) {
 	dt := now - s.lastAccrue
 	s.lastAccrue = now
-	if dt <= 0 || s.rBps <= 0 || s.rt == nil {
+	if dt <= 0 || s.rBps <= 0 || !s.routed {
 		return
 	}
 	exact := s.rBps*dt/8 + s.frac
@@ -253,8 +255,11 @@ func (n *Network) accrueFluid(s *fluidSource, now float64) {
 	n.OfferedBytes += bytes
 	n.CarriedBytes += bytes
 	n.flowBytes[s.fid] += bytes
-	for i := range s.rt.hops {
-		n.links[s.rt.hops[i].Dir].bytes += bytes
+	for _, h := range n.arena.Seg(s.rt.Up).Hops {
+		n.links[h.Dir].bytes += bytes
+	}
+	for _, h := range n.arena.Seg(s.rt.Down).Hops {
+		n.links[h.Dir].bytes += bytes
 	}
 }
 
@@ -293,6 +298,7 @@ func (n *Network) fluidReevaluate() {
 	if f == nil {
 		return
 	}
+	n.fluidReevals++
 	now := n.eng.Now()
 	// (1) Settle analytic bytes under the outgoing reservations.
 	for _, s := range f.srcs {
@@ -310,19 +316,25 @@ func (n *Network) fluidReevaluate() {
 			r = 0
 		}
 		s.rBps = r
-		rt, ok := n.routes[s.fid]
+		rt, ok := n.routes.get(s.fid)
+		numOff := 0
 		if ok {
-			if rt.epoch != n.activeEpoch {
-				n.revalidate(rt)
+			if n.arena.SegEpoch(rt.Up) != n.activeEpoch {
+				n.arena.Revalidate(rt.Up, n.active, n.activeEpoch)
 			}
-			s.rt = rt
-		} else {
-			s.rt = nil
+			if n.arena.SegEpoch(rt.Down) != n.activeEpoch {
+				n.arena.Revalidate(rt.Down, n.active, n.activeEpoch)
+			}
+			numOff = n.arena.SegNumOff(rt.Up) + n.arena.SegNumOff(rt.Down)
 		}
-		s.eligible = ok && len(rt.hops) > 0 && rt.numOff == 0 && r > 0
+		s.rt, s.routed = rt, ok
+		s.eligible = ok && rt.NumHops() > 0 && numOff == 0 && r > 0
 		if s.eligible {
-			for i := range rt.hops {
-				f.offered[rt.hops[i].Dir] += r
+			for _, h := range n.arena.Seg(rt.Up).Hops {
+				f.offered[h.Dir] += r
+			}
+			for _, h := range n.arena.Seg(rt.Down).Hops {
+				f.offered[h.Dir] += r
 			}
 		}
 	}
@@ -347,16 +359,28 @@ func (n *Network) fluidReevaluate() {
 	for _, s := range f.srcs {
 		want := s.eligible
 		if want {
-			for i := range s.rt.hops {
-				if n.links[s.rt.hops[i].Dir].demoted {
+			up, down := n.arena.Seg(s.rt.Up).Hops, n.arena.Seg(s.rt.Down).Hops
+			for _, h := range up {
+				if n.links[h.Dir].demoted {
 					want = false
 					break
 				}
 			}
-		}
-		if want {
-			for i := range s.rt.hops {
-				n.links[s.rt.hops[i].Dir].fluidBps += s.rBps
+			if want {
+				for _, h := range down {
+					if n.links[h.Dir].demoted {
+						want = false
+						break
+					}
+				}
+			}
+			if want {
+				for _, h := range up {
+					n.links[h.Dir].fluidBps += s.rBps
+				}
+				for _, h := range down {
+					n.links[h.Dir].fluidBps += s.rBps
+				}
 			}
 		}
 		// (7) Transitions.

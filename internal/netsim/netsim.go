@@ -11,12 +11,17 @@
 //
 // Two performance structures keep the hot path cheap:
 //
-//   - Route preresolution: routes are installed as per-hop directed-link
-//     records ([]topology.DirHop), so forwarding a packet is pure array
-//     arithmetic — no FindLink map lookup, no per-hop ActiveSet probe.
-//     Active-set changes bump an epoch; a route lazily revalidates its
-//     per-hop on/off mask the first time a packet touches it afterwards,
-//     preserving the exact drop semantics of per-hop activity checks.
+//   - A flyweight route plane: routes live in a topology.SegmentArena as
+//     interned up/down segments of preresolved per-hop directed-link
+//     records, so a flow's route is a 12-byte RouteRef value into shared
+//     backing instead of a per-flow heap object, and forwarding a packet
+//     is pure array arithmetic — no FindLink map lookup, no per-hop
+//     ActiveSet probe. Active-set changes bump an epoch; a segment
+//     lazily revalidates its per-hop on/off mask the first time a packet
+//     touches it afterwards, preserving the exact drop semantics of
+//     per-hop activity checks. Routes can also materialize on demand: an
+//     optional resolver (SetRouteResolver) supplies paths at first use,
+//     so large fabrics never precompute the all-pairs route table.
 //
 //   - An optional hybrid fluid/packet background engine (see fluid.go):
 //     uncongested constant-bit-rate background flows fold into per-link
@@ -31,6 +36,7 @@ import (
 	"eprons/internal/rng"
 	"eprons/internal/sim"
 	"eprons/internal/topology"
+	"eprons/internal/xslice"
 )
 
 // Config sets the fixed per-element delays and the optional fluid
@@ -130,34 +136,23 @@ type linkState struct {
 	onTxDone  func()
 }
 
-// route is one installed path, preresolved to per-hop directed-link
-// records. epoch tracks the network's active-set epoch the hop mask was
-// computed against; a packet stepping onto a stale route revalidates it
-// first (off[i] == true means hop i's link or arrival node is inactive).
-// In-flight packets pin the route object they launched on, so replacing a
-// flow's route mid-flight (SetRoute) does not redirect packets already in
-// the fabric — exactly the semantics of carrying the path by value.
-type route struct {
-	path   topology.Path
-	hops   []topology.DirHop
-	epoch  uint64
-	off    []bool
-	numOff int
-}
-
 // packet is one in-flight MTU-or-smaller unit moving hop by hop along its
 // route. Packets are pooled on the Network: each carries a prebound step
 // closure (allocated once, when the packet object is first created) that
 // re-enters the forwarder at packet.hop, so per-hop forwarding schedules an
 // existing func value instead of allocating a fresh capturing closure per
-// hop. msg is nil for background packets, which have no delivery
-// accounting.
+// hop. rt is the flyweight route value the packet launched with: arena
+// segments are append-only, so the ref stays valid for the packet's whole
+// flight and replacing the flow's route mid-flight (SetRoute) does not
+// redirect packets already in the fabric — exactly the semantics of
+// carrying the path by value. msg is nil for background packets, which
+// have no delivery accounting.
 type packet struct {
 	n     *Network
 	fid   flow.ID
-	rt    *route
-	bytes int
-	hop   int
+	rt    topology.RouteRef
+	bytes int32
+	hop   int32
 	hi    bool
 	msg   *message
 	step  func()
@@ -176,8 +171,15 @@ type Network struct {
 	// SetActive before it takes effect (fault injection masks failed
 	// elements this way; see SetActiveFilter).
 	activeFilter func(*topology.ActiveSet) *topology.ActiveSet
-	routes       map[flow.ID]*route
-	links        []linkState
+	// arena interns every installed route's up/down segments; routes maps
+	// each flow to its flyweight RouteRef into the arena.
+	arena  *topology.SegmentArena
+	routes routeTable
+	// resolver, when set, supplies a path for a flow the first time
+	// traffic references it without an installed route (nil = no route).
+	// See SetRouteResolver.
+	resolver func(flow.ID) topology.Path
+	links    []linkState
 	// dirCap caches each directed link's capacity so the forwarder divides
 	// by an array element instead of chasing Graph.Link metadata per hop.
 	dirCap []float64
@@ -201,9 +203,14 @@ type Network struct {
 	// pktFree and msgFree pool the per-packet and per-message structs of
 	// the forwarding pipeline. Both are bounded by the in-flight high-water
 	// mark; in steady state SendMessage allocates nothing but whatever the
-	// caller's own callbacks capture.
-	pktFree []*packet
-	msgFree []*message
+	// caller's own callbacks capture. New packets come out of pktChunk,
+	// a block of pktChunkSize structs, so growing the pool to a deep
+	// queue's high-water mark costs one struct allocation per block (the
+	// per-packet step closure still allocates once per packet: it must
+	// bind the packet's final address).
+	pktFree  []*packet
+	pktChunk []packet
+	msgFree  []*message
 
 	// Dropped counts packets that hit an inactive element (a transient
 	// during reconfiguration; steady-state experiments keep it at zero)
@@ -232,6 +239,10 @@ type Network struct {
 	// Cfg.FluidBackground).
 	FluidDemotions  int64
 	FluidPromotions int64
+
+	// fluidReevals counts fluidReevaluate passes (regression guard: a
+	// batched rule push must cost one pass, not one per flow).
+	fluidReevals int64
 }
 
 // New creates a network on g driven by eng, with everything active.
@@ -247,8 +258,9 @@ func New(eng *sim.Engine, g *topology.Graph, cfg Config) *Network {
 		eng:         eng,
 		g:           g,
 		active:      topology.NewActiveSet(g),
-		activeEpoch: 1, // routes start at epoch 0 → first touch validates
-		routes:      make(map[flow.ID]*route),
+		activeEpoch: 1, // segments start at epoch 0 → first touch validates
+		arena:       topology.NewSegmentArena(g),
+		routes:      routeTable{m: make(map[flow.ID]topology.RouteRef)},
 		links:       make([]linkState, 2*g.NumLinks()),
 		dirCap:      dirCap,
 		flowBytes:   make(map[flow.ID]int64),
@@ -305,15 +317,69 @@ func (n *Network) SetPriority(id flow.ID, hi bool) {
 	}
 }
 
-// SetRoute installs the path for a flow, preresolved to directed-link
-// records. The path must be valid. In-flight packets of the flow keep the
-// route object they launched on.
-func (n *Network) SetRoute(id flow.ID, p topology.Path) error {
-	if !p.Valid(n.g) {
-		return fmt.Errorf("netsim: invalid route for flow %d", id)
+// routeTable maps flows to their flyweight RouteRefs in two tiers: IDs in
+// [0, len(dense)) — the pair space reserved via ReserveRoutes — live in a
+// flat 12-byte-per-slot slice (one allocation for a million-pair ECMP
+// table, against tens of MB of bucket churn for the equivalent map), and
+// everything else falls back to the map. A dense slot with zero hops means
+// "no route": Intern never returns a hopless ref for a path of two or more
+// nodes, and a single-node route is indistinguishable from no route at
+// every consumer (SendMessage drops both).
+type routeTable struct {
+	dense []topology.RouteRef
+	m     map[flow.ID]topology.RouteRef
+}
+
+func (t *routeTable) get(id flow.ID) (topology.RouteRef, bool) {
+	if id >= 0 && int(id) < len(t.dense) {
+		r := t.dense[id]
+		return r, r.UpLen|r.DownLen != 0
 	}
-	hops := p.ResolveDirs(n.g)
-	n.routes[id] = &route{path: p, hops: hops, off: make([]bool, len(hops))}
+	r, ok := t.m[id]
+	return r, ok
+}
+
+func (t *routeTable) set(id flow.ID, r topology.RouteRef) {
+	if id >= 0 && int(id) < len(t.dense) {
+		t.dense[id] = r
+		return
+	}
+	t.m[id] = r
+}
+
+// ReserveRoutes switches the route table's dense tier to cover flow IDs
+// [0, pairs): callers about to install a large pair-keyed route set (the
+// all-to-all ECMP table, eager or resolver-fed) declare its extent once
+// and every route in that space costs 12 bytes in a flat slice instead of
+// a map entry. Entries already installed in the covered range migrate.
+func (n *Network) ReserveRoutes(pairs int) {
+	if pairs <= len(n.routes.dense) {
+		return
+	}
+	d := make([]topology.RouteRef, pairs)
+	copy(d, n.routes.dense)
+	n.routes.dense = d
+	for id, r := range n.routes.m {
+		if id >= 0 && int(id) < pairs {
+			d[id] = r
+			delete(n.routes.m, id)
+		}
+	}
+}
+
+// SetRoute installs the path for a flow as a flyweight RouteRef: the
+// path's up/down segments are interned into the network's segment arena
+// (validating adjacency only when a segment is new — installing a route
+// whose segments are already interned allocates nothing) and the flow
+// maps to the 12-byte ref. The path must be valid; p's backing is not
+// retained, so callers may reuse it. In-flight packets of the flow keep
+// the ref they launched with.
+func (n *Network) SetRoute(id flow.ID, p topology.Path) error {
+	ref, err := n.arena.Intern(p)
+	if err != nil {
+		return fmt.Errorf("netsim: invalid route for flow %d: %v", id, err)
+	}
+	n.routes.set(id, ref)
 	if n.fluid != nil && n.fluid.byFid[id] != nil {
 		// A fluid-managed source just got rerouted: its reservation must
 		// move (and its eligibility may change) right now.
@@ -322,40 +388,92 @@ func (n *Network) SetRoute(id flow.ID, p topology.Path) error {
 	return nil
 }
 
-// Route returns a flow's installed path.
+// Route returns a flow's installed path, materialized fresh from the
+// arena segments (the inverse of SetRoute's interning). It never
+// consults the on-demand resolver: a lazily resolvable but not yet
+// referenced flow reports no route.
 func (n *Network) Route(id flow.ID) (topology.Path, bool) {
-	r, ok := n.routes[id]
+	ref, ok := n.routes.get(id)
 	if !ok {
 		return nil, false
 	}
-	return r.path, true
+	return n.arena.MaterializePath(ref), true
 }
 
+// Arena exposes the network's segment arena (read-mostly; tests and
+// stats reporting use it).
+func (n *Network) Arena() *topology.SegmentArena { return n.arena }
+
 // InstallRoutes installs every path in the map (the controller's rule
-// push).
+// push). Unlike per-flow SetRoute calls, the push triggers at most ONE
+// fluid reevaluation, after all rules are in — reevaluation cost is per
+// registered source, so a controller replacing m elephant routes pays one
+// pass instead of m.
 func (n *Network) InstallRoutes(paths map[flow.ID]topology.Path) error {
+	reeval := false
 	for id, p := range paths {
-		if err := n.SetRoute(id, p); err != nil {
-			return err
+		ref, err := n.arena.Intern(p)
+		if err != nil {
+			return fmt.Errorf("netsim: invalid route for flow %d: %v", id, err)
 		}
+		n.routes.set(id, ref)
+		if n.fluid != nil && n.fluid.byFid[id] != nil {
+			reeval = true
+		}
+	}
+	if reeval {
+		n.fluidReevaluate()
 	}
 	return nil
 }
 
-// revalidate recomputes a route's per-hop on/off mask against the current
-// active set. Called lazily from the forwarders when the route's epoch is
-// stale, and eagerly by the fluid engine when deciding eligibility.
-func (n *Network) revalidate(r *route) {
-	r.numOff = 0
-	for i := range r.hops {
-		h := &r.hops[i]
-		on := n.active.LinkOn(h.Link) && n.active.NodeOn(h.To)
-		r.off[i] = !on
-		if !on {
-			r.numOff++
-		}
+// SetRouteResolver installs (or clears, with nil) the on-demand route
+// source: when traffic references a flow with no installed route, the
+// resolver is consulted once, its non-nil path interned and cached as if
+// SetRoute had been called, and a nil return means "no route" (not
+// cached — the next reference asks again). This is what lets large
+// fabrics skip precomputing the all-pairs route table: only pairs that
+// actually exchange traffic ever intern a route. Rejected in sharded
+// mode, where resolution would mutate the route map and arena from
+// shard contexts.
+func (n *Network) SetRouteResolver(f func(flow.ID) topology.Path) error {
+	if n.shd != nil && f != nil {
+		return fmt.Errorf("netsim: sharded execution does not support a route resolver")
 	}
-	r.epoch = n.activeEpoch
+	n.resolver = f
+	return nil
+}
+
+// lookupRoute is the traffic-path route lookup: the installed ref, or an
+// on-demand resolution when a resolver is set.
+func (n *Network) lookupRoute(fid flow.ID) (topology.RouteRef, bool) {
+	ref, ok := n.routes.get(fid)
+	if ok || n.resolver == nil {
+		return ref, ok
+	}
+	p := n.resolver(fid)
+	if p == nil {
+		return topology.RouteRef{}, false
+	}
+	ref, err := n.arena.Intern(p)
+	if err != nil {
+		return topology.RouteRef{}, false
+	}
+	n.routes.set(fid, ref)
+	return ref, true
+}
+
+// segTouch returns the view of the route segment covering hop, lazily
+// revalidating its liveness mask when the active set has changed since
+// the segment last looked. li is the hop's index within the segment.
+func (n *Network) segTouch(rt topology.RouteRef, hop int) (sv topology.SegView, li int) {
+	sid, li := rt.SegAt(hop)
+	sv = n.arena.Seg(sid)
+	if sv.Epoch != n.activeEpoch {
+		n.arena.Revalidate(sid, n.active, n.activeEpoch)
+		sv = n.arena.Seg(sid)
+	}
+	return sv, li
 }
 
 // message tracks the delivery state of one multi-packet message so that
@@ -403,17 +521,26 @@ func (n *Network) acquirePacket() *packet {
 		n.pktFree = n.pktFree[:k-1]
 		return p
 	}
-	p := &packet{n: n}
+	if len(n.pktChunk) == cap(n.pktChunk) {
+		n.pktChunk = make([]packet, 0, pktChunkSize)
+	}
+	n.pktChunk = append(n.pktChunk, packet{n: n})
+	p := &n.pktChunk[len(n.pktChunk)-1]
 	p.step = func() { p.n.stepPacket(p) }
 	return p
 }
 
-// releasePacket returns a terminated packet to the pool, dropping the route
-// and message references (the step closure stays bound).
+// pktChunkSize is the packet-arena block size: deep queues hold hundreds
+// of thousands of packets at once in the large-fabric sweeps, and block
+// allocation keeps that from costing one heap object per packet.
+const pktChunkSize = 256
+
+// releasePacket returns a terminated packet to the pool, dropping the
+// message reference (the step closure stays bound; the route ref is a
+// plain value and retains nothing).
 func (n *Network) releasePacket(p *packet) {
-	p.rt = nil
 	p.msg = nil
-	n.pktFree = append(n.pktFree, p)
+	n.pktFree = append(xslice.GrowDoubling(n.pktFree), p)
 }
 
 // SendMessage transmits size bytes along the route of fid and calls
@@ -429,8 +556,8 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 		n.sendShard(fid, size, onDelivered, onDropped)
 		return
 	}
-	rt, ok := n.routes[fid]
-	if !ok || len(rt.path) < 2 {
+	rt, ok := n.lookupRoute(fid)
+	if !ok || rt.NumHops() == 0 {
 		n.OfferedBytes += int64(size)
 		n.Dropped++
 		n.MsgDropped++
@@ -466,11 +593,11 @@ func (n *Network) SendMessage(fid flow.ID, size int, onDelivered func(latency fl
 // launch dispatches one packet onto hop 0 of route rt. Hop 0 is processed
 // synchronously (enqueue onto the first link happens at the send instant);
 // later hops arrive via the packet's prebound step event.
-func (n *Network) launch(fid flow.ID, rt *route, bytes int, hi bool, m *message) {
+func (n *Network) launch(fid flow.ID, rt topology.RouteRef, bytes int, hi bool, m *message) {
 	pk := n.acquirePacket()
 	pk.fid = fid
 	pk.rt = rt
-	pk.bytes = bytes
+	pk.bytes = int32(bytes)
 	pk.hop = 0
 	pk.hi = hi
 	pk.msg = m
@@ -509,34 +636,32 @@ func (n *Network) finishPacket(pk *packet, delivered bool) {
 
 // stepPacket is the single arrival entry point for both queueing modes: the
 // packet has just reached hop pk.hop of its route and either terminates
-// there or is enqueued onto the next link. The route is preresolved —
-// forwarding is array arithmetic on the hop records, with a lazy per-route
-// revalidation when the active set has changed since the route last looked.
+// there or is enqueued onto the next link. The route is a flyweight ref
+// into the segment arena — forwarding is array arithmetic on the shared
+// hop records, with a lazy per-segment revalidation when the active set
+// has changed since the segment last looked.
 func (n *Network) stepPacket(pk *packet) {
 	if n.Cfg.PriorityQueueing {
 		n.stepPQ(pk)
 		return
 	}
-	hop := pk.hop
+	hop := int(pk.hop)
 	if hop == 0 {
 		// Offered-byte accounting: every packet presented at its first
 		// hop counts, whether or not the network accepts it.
 		n.OfferedBytes += int64(pk.bytes)
 	}
-	r := pk.rt
-	if hop >= len(r.hops) {
+	if hop >= pk.rt.NumHops() {
 		n.finishPacket(pk, true)
 		return
 	}
-	if r.epoch != n.activeEpoch {
-		n.revalidate(r)
-	}
-	if r.off[hop] {
+	sv, li := n.segTouch(pk.rt, hop)
+	if sv.Off[li] {
 		n.Dropped++
 		n.finishPacket(pk, false)
 		return
 	}
-	h := &r.hops[hop]
+	h := &sv.Hops[li]
 	ls := &n.links[h.Dir]
 	capBps := n.dirCap[h.Dir]
 	if ls.fluidBps > 0 {
@@ -552,7 +677,7 @@ func (n *Network) stepPacket(pk *packet) {
 	if n.Cfg.QueueLimitBytes > 0 {
 		// Backlog in bytes implied by the time the queue needs to drain.
 		backlog := (startTx - now) * capBps / 8
-		if int(backlog)+pk.bytes > n.Cfg.QueueLimitBytes {
+		if int(backlog)+int(pk.bytes) > n.Cfg.QueueLimitBytes {
 			n.Dropped++
 			n.TailDrops++
 			n.finishPacket(pk, false)
@@ -570,7 +695,7 @@ func (n *Network) stepPacket(pk *packet) {
 	depart := startTx + txTime
 	ls.busyUntil = depart
 	ls.bytes += int64(pk.bytes)
-	pk.hop = hop + 1
+	pk.hop = int32(hop + 1)
 	n.eng.Schedule(depart+n.Cfg.HopDelay, pk.step)
 }
 
@@ -631,7 +756,7 @@ func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.
 		if b.stop {
 			return
 		}
-		if rt, ok := n.routes[fid]; ok {
+		if rt, ok := n.lookupRoute(fid); ok {
 			// flowBytes accounting happens at hop-0 acceptance inside the
 			// forwarders, so dropped-at-ingress packets are not mistaken
 			// for carried traffic. Background packets carry no message
@@ -639,7 +764,7 @@ func (n *Network) StartBackground(fid flow.ID, rate func() float64, stream *rng.
 			pk := n.acquirePacket()
 			pk.fid = fid
 			pk.rt = rt
-			pk.bytes = n.Cfg.PacketBytes
+			pk.bytes = int32(n.Cfg.PacketBytes)
 			pk.hop = 0
 			pk.hi = n.highPrio[fid]
 			pk.msg = nil
@@ -755,25 +880,22 @@ func (n *Network) ResetStats() {
 // queue per link direction; a free link serves the high class first,
 // without preempting the packet in service.
 func (n *Network) stepPQ(pk *packet) {
-	hop := pk.hop
+	hop := int(pk.hop)
 	if hop == 0 {
 		// Mirror the FIFO forwarder's offered-byte accounting.
 		n.OfferedBytes += int64(pk.bytes)
 	}
-	r := pk.rt
-	if hop >= len(r.hops) {
+	if hop >= pk.rt.NumHops() {
 		n.finishPacket(pk, true)
 		return
 	}
-	if r.epoch != n.activeEpoch {
-		n.revalidate(r)
-	}
-	if r.off[hop] {
+	sv, li := n.segTouch(pk.rt, hop)
+	if sv.Off[li] {
 		n.Dropped++
 		n.finishPacket(pk, false)
 		return
 	}
-	di := r.hops[hop].Dir
+	di := sv.Hops[li].Dir
 	ls := &n.links[di]
 	if hop == 0 {
 		// Mirror the FIFO forwarder: flow counters tick at hop-0

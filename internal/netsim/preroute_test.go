@@ -161,22 +161,30 @@ func TestSetRouteMidFlightKeepsOldPath(t *testing.T) {
 	}
 }
 
-// TestPreresolvedRouteMatchesDirLinks: the preresolved hop records must
+// TestPreresolvedRouteMatchesDirLinks: the arena-interned hop records must
 // agree with the reference FindLink/DirIndex resolution for every
-// installed route (the arithmetic the forwarder now trusts blindly).
+// installed route (the arithmetic the forwarder now trusts blindly), and
+// the materialized path must round-trip the installed one.
 func TestPreresolvedRouteMatchesDirLinks(t *testing.T) {
 	_, n := benchChain(t, DefaultConfig())
-	r := n.routes[1]
-	ref := r.path.DirLinks(n.g)
-	if len(r.hops) != len(ref) {
-		t.Fatalf("hops %d, reference dirs %d", len(r.hops), len(ref))
+	r, _ := n.routes.get(1)
+	path, ok := n.Route(1)
+	if !ok {
+		t.Fatal("installed route not found")
 	}
+	ref := path.DirLinks(n.g)
+	if r.NumHops() != len(ref) {
+		t.Fatalf("hops %d, reference dirs %d", r.NumHops(), len(ref))
+	}
+	var hops []topology.DirHop
+	hops = append(hops, n.arena.Seg(r.Up).Hops...)
+	hops = append(hops, n.arena.Seg(r.Down).Hops...)
 	for i, d := range ref {
-		if r.hops[i].Dir != d {
-			t.Errorf("hop %d: preresolved dir %d, reference %d", i, r.hops[i].Dir, d)
+		if hops[i].Dir != d {
+			t.Errorf("hop %d: preresolved dir %d, reference %d", i, hops[i].Dir, d)
 		}
-		lid, _ := n.g.FindLink(r.path[i], r.path[i+1])
-		if r.hops[i].Link != lid || r.hops[i].To != r.path[i+1] {
+		lid, _ := n.g.FindLink(path[i], path[i+1])
+		if hops[i].Link != lid || hops[i].To != path[i+1] {
 			t.Errorf("hop %d: link/to mismatch", i)
 		}
 	}

@@ -53,6 +53,7 @@ import (
 	"eprons/internal/rng"
 	"eprons/internal/sim"
 	"eprons/internal/topology"
+	"eprons/internal/xslice"
 )
 
 // netShard is the per-shard slice of the network's mutable hot-path state:
@@ -63,6 +64,7 @@ type netShard struct {
 	eng       *sim.Engine
 	flowBytes map[flow.ID]int64
 	pktFree   []*packet
+	pktChunk  []packet
 	msgFree   []*message
 
 	dropped      int64
@@ -107,21 +109,21 @@ func (n *Network) Shard(se *sim.Sharded, part *topology.Partition) error {
 	if len(part.DirShard) != len(n.links) {
 		return fmt.Errorf("netsim: partition covers %d link directions, network has %d", len(part.DirShard), len(n.links))
 	}
+	if n.resolver != nil {
+		return fmt.Errorf("netsim: sharded execution does not support a route resolver")
+	}
 	shd := &sharding{se: se, dir: part.DirShard, sh: make([]netShard, se.Shards())}
 	for i := range shd.sh {
 		shd.sh[i].eng = se.ShardEngine(i)
 		shd.sh[i].flowBytes = make(map[flow.ID]int64)
 	}
 	n.shd = shd
-	// Routes must never revalidate from a shard context (two shards would
-	// race on the shared hop mask), so bring every stale route up to date
-	// while quiesced at the top of each Run.
+	// Segments must never revalidate from a shard context (the apex split
+	// keeps each segment inside one shard, but the control engine also
+	// reads masks at barriers), so bring every stale segment's liveness
+	// mask up to date while quiesced at the top of each Run.
 	se.AtRunStart(func() {
-		for _, r := range n.routes {
-			if r.epoch != n.activeEpoch {
-				n.revalidate(r)
-			}
-		}
+		n.arena.RevalidateAll(n.active, n.activeEpoch)
 	})
 	return nil
 }
@@ -184,7 +186,11 @@ func (n *Network) acquirePacketShard(sh *netShard) *packet {
 		sh.pktFree = sh.pktFree[:k-1]
 		return p
 	}
-	p := &packet{n: n}
+	if len(sh.pktChunk) == cap(sh.pktChunk) {
+		sh.pktChunk = make([]packet, 0, pktChunkSize)
+	}
+	sh.pktChunk = append(sh.pktChunk, packet{n: n})
+	p := &sh.pktChunk[len(sh.pktChunk)-1]
 	p.step = func() { p.n.stepShard(p) }
 	return p
 }
@@ -206,8 +212,8 @@ func (n *Network) acquireMessageShard(sh *netShard) *message {
 // state. Pools migrate with the traffic: packets and messages are acquired
 // at the source shard and released wherever they terminate.
 func (n *Network) sendShard(fid flow.ID, size int, onDelivered func(latency float64), onDropped func()) {
-	rt, ok := n.routes[fid]
-	if !ok || len(rt.path) < 2 {
+	rt, ok := n.routes.get(fid)
+	if !ok || rt.NumHops() == 0 {
 		shd := n.shd
 		shd.unroutedOffered.Add(int64(size))
 		shd.unroutedDropped.Add(1)
@@ -217,7 +223,7 @@ func (n *Network) sendShard(fid flow.ID, size int, onDelivered func(latency floa
 		}
 		return
 	}
-	sh := &n.shd.sh[n.shd.dir[rt.hops[0].Dir]]
+	sh := &n.shd.sh[n.shd.dir[n.arena.FirstDir(rt)]]
 	packets := (size + n.Cfg.PacketBytes - 1) / n.Cfg.PacketBytes
 	if packets == 0 {
 		packets = 1
@@ -239,7 +245,7 @@ func (n *Network) sendShard(fid flow.ID, size int, onDelivered func(latency floa
 		pk := n.acquirePacketShard(sh)
 		pk.fid = fid
 		pk.rt = rt
-		pk.bytes = pkt
+		pk.bytes = int32(pkt)
 		pk.hop = 0
 		pk.hi = hi
 		pk.msg = m
@@ -252,9 +258,8 @@ func (n *Network) sendShard(fid flow.ID, size int, onDelivered func(latency floa
 // finishPacket against sh's clock and pools.
 func (n *Network) finishShard(pk *packet, sh *netShard, delivered bool) {
 	m := pk.msg
-	pk.rt = nil
 	pk.msg = nil
-	sh.pktFree = append(sh.pktFree, pk)
+	sh.pktFree = append(xslice.GrowDoubling(sh.pktFree), pk)
 	if m == nil {
 		return
 	}
@@ -288,8 +293,8 @@ func (n *Network) finishShard(pk *packet, sh *netShard, delivered bool) {
 // any shard is safe).
 func (n *Network) startShardBackground(b *Background, fid flow.ID, rate func() float64, stream *rng.Stream, bits float64) {
 	seng := n.eng
-	if rt, ok := n.routes[fid]; ok && len(rt.hops) > 0 {
-		seng = n.shd.sh[n.shd.dir[rt.hops[0].Dir]].eng
+	if rt, ok := n.routes.get(fid); ok && rt.NumHops() > 0 {
+		seng = n.shd.sh[n.shd.dir[n.arena.FirstDir(rt)]].eng
 	}
 	var arm, fire func()
 	arm = func() {
@@ -307,12 +312,12 @@ func (n *Network) startShardBackground(b *Background, fid flow.ID, rate func() f
 		if b.stop {
 			return
 		}
-		if rt, ok := n.routes[fid]; ok {
-			sh := &n.shd.sh[n.shd.dir[rt.hops[0].Dir]]
+		if rt, ok := n.routes.get(fid); ok {
+			sh := &n.shd.sh[n.shd.dir[n.arena.FirstDir(rt)]]
 			pk := n.acquirePacketShard(sh)
 			pk.fid = fid
 			pk.rt = rt
-			pk.bytes = n.Cfg.PacketBytes
+			pk.bytes = int32(n.Cfg.PacketBytes)
 			pk.hop = 0
 			pk.hi = n.highPrio[fid]
 			pk.msg = nil
@@ -335,23 +340,25 @@ func (n *Network) startShardBackground(b *Background, fid flow.ID, rate func() f
 // inactive hop's owner — never both concurrently.
 func (n *Network) stepShard(pk *packet) {
 	shd := n.shd
-	hop := pk.hop
-	r := pk.rt
-	if hop >= len(r.hops) {
-		sh := &shd.sh[shd.dir[r.hops[len(r.hops)-1].Dir]]
+	hop := int(pk.hop)
+	nh := pk.rt.NumHops()
+	if hop >= nh {
+		sh := &shd.sh[shd.dir[n.arena.LastDir(pk.rt)]]
 		n.finishShard(pk, sh, true)
 		return
 	}
-	h := &r.hops[hop]
+	sid, li := pk.rt.SegAt(hop)
+	sv := n.arena.Seg(sid)
+	h := &sv.Hops[li]
 	self := shd.dir[h.Dir]
 	sh := &shd.sh[self]
 	if hop == 0 {
 		sh.offeredBytes += int64(pk.bytes)
 	}
-	if r.off[hop] {
-		// Routes are revalidated against the active set at Run start
-		// (never from shard context — see the AtRunStart hook in Shard),
-		// so the mask is stable here.
+	if sv.Off[li] {
+		// Segment masks are revalidated against the active set at Run
+		// start (never from shard context — see the AtRunStart hook in
+		// Shard), so the mask is stable here.
 		sh.dropped++
 		n.finishShard(pk, sh, false)
 		return
@@ -374,10 +381,11 @@ func (n *Network) stepShard(pk *packet) {
 	depart := startTx + txTime
 	ls.busyUntil = depart
 	ls.bytes += int64(pk.bytes)
-	pk.hop = hop + 1
+	pk.hop = int32(hop + 1)
 	at := depart + n.Cfg.HopDelay
-	if next := hop + 1; next < len(r.hops) {
-		if tgt := shd.dir[r.hops[next].Dir]; tgt != self {
+	if next := hop + 1; next < nh {
+		nsid, nli := pk.rt.SegAt(next)
+		if tgt := shd.dir[n.arena.Seg(nsid).Hops[nli].Dir]; tgt != self {
 			shd.se.Handoff(int(self), int(tgt), at, pk.step)
 			return
 		}

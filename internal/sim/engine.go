@@ -10,14 +10,20 @@
 // short-lived "schedule at now+delta, fire once, never cancelled" events,
 // with a minority of timeout-style events that are cancelled before firing.
 //
-//   - Events live in a slot arena ([]event) recycled through a free list,
-//     so steady-state scheduling allocates nothing.
+//   - Events live in a slot arena recycled through a free list, so
+//     steady-state scheduling allocates nothing.
 //   - The priority queue is a concrete 4-ary array heap of small inline
 //     entries (time, seq, slot) ordered by (time, seq) — no interfaces, no
 //     container/heap boxing, and a shallower tree than a binary heap. The
 //     (time, seq) order is a strict total order (seq is unique), so pop
 //     order is independent of heap arity: this is the pop-order contract
 //     that keeps figure outputs bit-identical across scheduler rewrites.
+//   - Both the heap and the arena are paged (fixed 4096-entry pages behind
+//     a tiny index table) instead of flat slices: growing to a peak of N
+//     entries allocates exactly N entries' worth of pages, where a
+//     reallocating slice pays ~2× N in cumulative copy churn — material
+//     when overloaded large-fabric runs hold >10⁶ in-flight events. Pages
+//     are never freed; the high-water mark is the working set.
 //   - EventID encodes (slot, generation) directly; Cancel resolves the
 //     handle with two array reads and no map. Each slot's generation bumps
 //     on every release, so stale IDs (already fired, already cancelled, or
@@ -27,7 +33,11 @@
 //     cancel instead of a map write per schedule.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"eprons/internal/xslice"
+)
 
 // EventID identifies a scheduled event so that it can be cancelled. It
 // packs the event's arena slot in the low 32 bits and the slot's generation
@@ -60,11 +70,24 @@ type heapEntry struct {
 	slot int32
 }
 
+// Paged-storage geometry: index i lives at page i>>pageShift, offset
+// i&pageMask. 4096 entries keep a page at ~96 KB (heap) / ~64 KB (arena).
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use with the clock at t=0.
 type Engine struct {
-	heap   []heapEntry
-	events []event
+	// heap/hn and events/nslots are the paged 4-ary heap and the paged
+	// slot arena (see the package comment); hn and nslots are their
+	// logical lengths.
+	heap   [][]heapEntry
+	hn     int
+	events [][]event
+	nslots int
 	// free recycles arena slots. Its length is bounded by the high-water
 	// mark of the queue depth.
 	free    []int32
@@ -75,6 +98,12 @@ type Engine struct {
 	// Processed counts events executed so far (skipping cancelled ones).
 	Processed int64
 }
+
+// hat resolves heap index i to its entry.
+func (e *Engine) hat(i int) *heapEntry { return &e.heap[i>>pageShift][i&pageMask] }
+
+// eat resolves an arena slot to its event.
+func (e *Engine) eat(slot int32) *event { return &e.events[slot>>pageShift][slot&pageMask] }
 
 // New returns an engine with the clock at t=0.
 func New() *Engine { return &Engine{} }
@@ -113,10 +142,14 @@ func (e *Engine) Schedule(at float64, fn func()) EventID {
 		slot = e.free[n-1]
 		e.free = e.free[:n-1]
 	} else {
-		e.events = append(e.events, event{gen: 1})
-		slot = int32(len(e.events) - 1)
+		if e.nslots&pageMask == 0 && e.nslots>>pageShift == len(e.events) {
+			e.events = append(e.events, make([]event, pageSize))
+		}
+		slot = int32(e.nslots)
+		e.nslots++
+		e.eat(slot).gen = 1
 	}
-	ev := &e.events[slot]
+	ev := e.eat(slot)
 	ev.fn = fn
 	ev.state = stateLive
 	e.live++
@@ -136,10 +169,10 @@ func (e *Engine) After(d float64, fn func()) EventID {
 func (e *Engine) Cancel(id EventID) bool {
 	slot := int64(id) & 0xffffffff
 	gen := uint32(uint64(id) >> 32)
-	if slot >= int64(len(e.events)) {
+	if slot >= int64(e.nslots) {
 		return false
 	}
-	ev := &e.events[slot]
+	ev := e.eat(int32(slot))
 	if ev.gen != gen || ev.state != stateLive {
 		return false
 	}
@@ -154,11 +187,11 @@ func (e *Engine) Cancel(id EventID) bool {
 // release returns an arena slot to the free list and invalidates every
 // outstanding EventID that pointed at it.
 func (e *Engine) release(slot int32) {
-	ev := &e.events[slot]
+	ev := e.eat(slot)
 	ev.fn = nil
 	ev.gen++
 	ev.state = stateFree
-	e.free = append(e.free, slot)
+	e.free = append(xslice.GrowDoubling(e.free), slot)
 }
 
 // Stop makes the current Run return after the in-flight event completes.
@@ -168,9 +201,9 @@ func (e *Engine) Stop() { e.stopped = true }
 // it. Lazily-cancelled entries encountered at the root are discarded on the
 // way (amortized O(1)). ok is false when no live event is scheduled.
 func (e *Engine) PeekTime() (t float64, ok bool) {
-	for len(e.heap) > 0 {
-		top := e.heap[0]
-		if e.events[top.slot].state == stateCancelled {
+	for e.hn > 0 {
+		top := *e.hat(0)
+		if e.eat(top.slot).state == stateCancelled {
 			e.popRoot()
 			e.release(top.slot)
 			continue
@@ -188,13 +221,13 @@ func (e *Engine) PeekTime() (t float64, ok bool) {
 // exactly until.
 func (e *Engine) RunBefore(until float64) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		top := e.heap[0]
+	for e.hn > 0 && !e.stopped {
+		top := *e.hat(0)
 		if top.time >= until {
 			break
 		}
 		e.popRoot()
-		ev := &e.events[top.slot]
+		ev := e.eat(top.slot)
 		if ev.state == stateCancelled {
 			e.release(top.slot)
 			continue
@@ -226,13 +259,13 @@ func (e *Engine) AdvanceTo(t float64) {
 // executed event (or at until if it advanced past every event).
 func (e *Engine) Run(until float64) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		top := e.heap[0]
+	for e.hn > 0 && !e.stopped {
+		top := *e.hat(0)
 		if top.time > until {
 			break
 		}
 		e.popRoot()
-		ev := &e.events[top.slot]
+		ev := e.eat(top.slot)
 		if ev.state == stateCancelled {
 			e.release(top.slot)
 			continue
@@ -253,10 +286,10 @@ func (e *Engine) Run(until float64) {
 // for closed simulations that schedule a bounded number of events.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		top := e.heap[0]
+	for e.hn > 0 && !e.stopped {
+		top := *e.hat(0)
 		e.popRoot()
-		ev := &e.events[top.slot]
+		ev := e.eat(top.slot)
 		if ev.state == stateCancelled {
 			e.release(top.slot)
 			continue
@@ -285,8 +318,8 @@ func (e *Engine) RunAll() {
 // not per event.
 func (e *Engine) AuditInvariants() error {
 	live, cancelled := 0, 0
-	for i := range e.events {
-		switch e.events[i].state {
+	for slot := int32(0); slot < int32(e.nslots); slot++ {
+		switch e.eat(slot).state {
 		case stateLive:
 			live++
 		case stateCancelled:
@@ -296,15 +329,16 @@ func (e *Engine) AuditInvariants() error {
 	if live != e.live {
 		return fmt.Errorf("sim: Len() reports %d live events, arena holds %d", e.live, live)
 	}
-	if occupied := live + cancelled; len(e.heap) != occupied {
-		return fmt.Errorf("sim: heap holds %d entries, arena holds %d occupied slots", len(e.heap), occupied)
+	if occupied := live + cancelled; e.hn != occupied {
+		return fmt.Errorf("sim: heap holds %d entries, arena holds %d occupied slots", e.hn, occupied)
 	}
-	seen := make(map[int32]bool, len(e.heap))
-	for _, h := range e.heap {
-		if h.slot < 0 || int(h.slot) >= len(e.events) {
-			return fmt.Errorf("sim: heap entry references slot %d outside arena of %d", h.slot, len(e.events))
+	seen := make(map[int32]bool, e.hn)
+	for i := 0; i < e.hn; i++ {
+		h := *e.hat(i)
+		if h.slot < 0 || int(h.slot) >= e.nslots {
+			return fmt.Errorf("sim: heap entry references slot %d outside arena of %d", h.slot, e.nslots)
 		}
-		if e.events[h.slot].state == stateFree {
+		if e.eat(h.slot).state == stateFree {
 			return fmt.Errorf("sim: heap entry references free slot %d", h.slot)
 		}
 		if seen[h.slot] {
@@ -319,25 +353,29 @@ func (e *Engine) AuditInvariants() error {
 // An entry scheduled later than everything on its root path — the common
 // now+delta case — exits after the first comparison.
 func (e *Engine) siftUp(entry heapEntry) {
-	i := len(e.heap)
-	e.heap = append(e.heap, entry)
+	i := e.hn
+	if i&pageMask == 0 && i>>pageShift == len(e.heap) {
+		e.heap = append(e.heap, make([]heapEntry, pageSize))
+	}
+	e.hn++
 	for i > 0 {
 		parent := (i - 1) >> 2
-		if !less(entry, e.heap[parent]) {
+		p := *e.hat(parent)
+		if !less(entry, p) {
 			break
 		}
-		e.heap[i] = e.heap[parent]
+		*e.hat(i) = p
 		i = parent
 	}
-	e.heap[i] = entry
+	*e.hat(i) = entry
 }
 
 // popRoot removes the minimum entry, moving the last leaf to the root and
 // sifting it down. Children of i are 4i+1 .. 4i+4.
 func (e *Engine) popRoot() {
-	n := len(e.heap) - 1
-	last := e.heap[n]
-	e.heap = e.heap[:n]
+	n := e.hn - 1
+	last := *e.hat(n)
+	e.hn = n
 	if n == 0 {
 		return
 	}
@@ -351,17 +389,17 @@ func (e *Engine) popRoot() {
 		if end > n {
 			end = n
 		}
-		min := c
+		min, minE := c, *e.hat(c)
 		for j := c + 1; j < end; j++ {
-			if less(e.heap[j], e.heap[min]) {
-				min = j
+			if ej := *e.hat(j); less(ej, minE) {
+				min, minE = j, ej
 			}
 		}
-		if !less(e.heap[min], last) {
+		if !less(minE, last) {
 			break
 		}
-		e.heap[i] = e.heap[min]
+		*e.hat(i) = minE
 		i = min
 	}
-	e.heap[i] = last
+	*e.hat(i) = last
 }

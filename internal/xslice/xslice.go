@@ -1,0 +1,19 @@
+// Package xslice holds small slice utilities shared by the hot paths.
+package xslice
+
+// GrowDoubling returns s with room for at least one more element,
+// reallocating at double capacity when full. Beyond 1024 elements the
+// runtime's append growth tapers to ~1.25×, which costs ~5× the final
+// size in cumulative allocation over a run; the event heap, the event
+// arena and the packet free lists reach hundreds of thousands of entries
+// in the large-fabric sweeps, so they keep doubling (cumulative cost ~2×
+// final). Below the taper the runtime already doubles and s is returned
+// unchanged.
+func GrowDoubling[T any](s []T) []T {
+	if c := cap(s); c >= 1024 && len(s) == c {
+		ns := make([]T, len(s), 2*c)
+		copy(ns, s)
+		return ns
+	}
+	return s
+}
