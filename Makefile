@@ -9,7 +9,8 @@
 #                     fault-injection availability harness that runs inside
 #                     parallel sweeps; internal/controller, internal/workload
 #                     and internal/experiments for the overload control
-#                     plane and its parallel sweeps).
+#                     plane and its parallel sweeps; internal/placement
+#                     for the replicated search tier).
 #   make lint       — gofmt (must be clean) + go vet.
 #   make bench      — the allocation/latency benchmarks the perf work tracks
 #                     (engine scheduling/cancellation, packet forwarding,
@@ -30,13 +31,16 @@
 #                     wall time is machine-sensitive, allocation counts are
 #                     deterministic). Part of `make check`.
 #   make race       — just the race-detector subset, plus a race-enabled
-#                     -shards 4 smoke sweep of the pod-sharded engine.
+#                     -shards 4 smoke sweep of the pod-sharded engine and a
+#                     race-enabled replicated-tier smoke sweep (R=3, hedged
+#                     selection) of the parallel replica harness.
 #   make fuzz-short — a bounded run of the native fuzz targets (surge
 #                     multiplier safety, admission hysteresis invariants,
-#                     sharded-vs-sequential barrier equivalence, analytic-twin
-#                     monotonicity, route-segment intern/materialize
-#                     equivalence); FUZZTIME=30s lengthens each target's
-#                     budget.
+#                     replica failover conservation under random crash/repair
+#                     schedules, sharded-vs-sequential barrier equivalence,
+#                     analytic-twin monotonicity, route-segment
+#                     intern/materialize equivalence); FUZZTIME=30s lengthens
+#                     each target's budget.
 #   make twincheck  — validate the closed-form analytic twin against the
 #                     DES on the Fig 10 grid and the trained server table
 #                     (quick grid); fails when an in-domain cell breaks
@@ -76,14 +80,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments ./internal/metrics ./internal/topology
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/sim ./internal/netsim ./internal/cluster ./internal/faults ./internal/controller ./internal/workload ./internal/experiments ./internal/metrics ./internal/topology ./internal/placement
 	$(GO) run -race ./cmd/netsweep -fig 10 -duration 0.2 -shards 4
+	$(GO) run -race ./cmd/epronsim -replicas 3 -selection hedged -faultrates 1 -faultdur 0.5
 
 # Each `go test -fuzz` invocation accepts exactly one target, so the
 # corpus-growing runs go one per line.
 fuzz-short:
 	$(GO) test -run XXX -fuzz FuzzSurgeMultiplier -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run XXX -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run XXX -fuzz FuzzReplicaFailover -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run XXX -fuzz FuzzFluidPromoteDemote -fuzztime $(FUZZTIME) ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzShardBarrier -fuzztime $(FUZZTIME) ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzTwinMonotonic -fuzztime $(FUZZTIME) ./internal/twin

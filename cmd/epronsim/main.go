@@ -10,6 +10,7 @@
 //	epronsim -twin [-twink 74]
 //	epronsim -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
 //	epronsim -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
+//	epronsim -replicas 1,3 [-selection primary,p2c,hedged] [-hedge 0] [-faultrates 0,1,2] [-audit]
 //
 // The -faults mode runs the availability experiment instead: seeded
 // switch crashes and link flaps against the consolidated fabric, with
@@ -20,8 +21,16 @@
 // query rate is pushed to each multiplier of the base rate and the
 // overload control plane (bounded queues, watermark admission + load
 // shedding, controller surge response) is compared against the
-// unprotected baseline. -audit enables runtime invariant checks in both
-// modes.
+// unprotected baseline.
+//
+// The -replicas mode runs the replicated search-tier sweep: the index is
+// placed R-replicated by consistent hashing with pod spreading, and
+// goodput, tail latency, duplicate work and joint power are compared
+// across replication factors × selection policies (-selection) × fault
+// rates (-faultrates, edge switches included so hosts genuinely drop
+// off). -hedge overrides the hedged policy's duplicate delay (0 tracks
+// the observed sub-query p95). -audit enables runtime invariant checks in
+// all three modes.
 //
 // The -twin mode answers closed-form what-if capacity queries on an
 // arbitrary fat-tree arity (default k=74, a 101,306-host fabric) with no
@@ -39,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"eprons/internal/cluster"
 	"eprons/internal/experiments"
 	"eprons/internal/parallel"
 	"eprons/internal/workload"
@@ -60,7 +70,10 @@ func main() {
 	overloadWM := flag.Int("overloadwm", 0, "admission high watermark override (0 derives the SLA-aware default)")
 	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
 	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
-	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
+	replicasArg := flag.String("replicas", "", "run the replicated search-tier sweep over these replication factors (e.g. 1,3) and exit; uses -faultrates/-faultdur/-faultseed for the fault axis")
+	selectionArg := flag.String("selection", "primary", "replica selection policies to sweep: primary, p2c and/or hedged (comma separated)")
+	hedgeDelay := flag.Float64("hedge", 0, "hedged-policy duplicate delay in seconds (0 = track the observed sub-query p95)")
+	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, hedge accounting, replica reachability, scheduler bookkeeping) after each cell")
 	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background-traffic engine in -faults/-overload modes (order-of-magnitude fewer events; off = exact packet-level simulation)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "concurrency for table training, the per-scheme diurnal replays and the planner's K search (<=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -72,12 +85,12 @@ func main() {
 	flag.Parse()
 
 	if *shards != 1 && *shards != 0 {
-		// The sharded engine requires the no-drop, no-retry query envelope
-		// (see internal/cluster/shard.go); the fault and overload
-		// experiments are defined by violating it, and the planner figures
-		// (Fig 13/15) run no packet simulation at all. Reject rather than
-		// silently ignore.
-		log.Fatal("-shards is only meaningful for the packet-level figure sweeps; use cmd/netsweep -shards or cmd/reproduce -shards")
+		// The sharded engine requires the no-drop, no-retry broadcast
+		// envelope (cluster.ErrShardEnvelope names the offending option);
+		// the fault, overload and replica experiments are defined by
+		// violating it, and the planner figures (Fig 13/15) run no packet
+		// simulation at all. Reject rather than silently ignore.
+		log.Fatal("-shards is only meaningful for the packet-level figure sweeps (timeouts, retries, admission control and replication are outside the sharded cluster envelope); use cmd/netsweep -shards or cmd/reproduce -shards")
 	}
 
 	if *cpuProfile != "" {
@@ -113,6 +126,15 @@ func main() {
 		fmt.Print(experiments.Render(t, *csvOut))
 		fmt.Println("\nrows marked CLAMPED are outside the validated domain; see `joint -twincheck`")
 		fmt.Println("for the DES validation and the pinned in-domain error bands.")
+		return
+	}
+
+	if *replicasArg != "" {
+		err := runReplicas(*replicasArg, *selectionArg, *faultRates, *faultDur, *hedgeDelay,
+			*faultSeed, *workers, *audit, *csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -223,6 +245,57 @@ func runOverload(multsArg string, dur, rate float64, seed int64, shape string, s
 	}
 	fmt.Print(experiments.Render(experiments.OverloadTable(rows), csv))
 	return nil
+}
+
+func runReplicas(replicasArg, selectionArg, ratesArg string, dur, hedge float64, seed int64, workers int, audit, csv bool) error {
+	replicas, err := parseIntList(replicasArg)
+	if err != nil {
+		return err
+	}
+	selections, err := parseSelectionList(selectionArg)
+	if err != nil {
+		return err
+	}
+	rates, err := parseFloatList(ratesArg)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.ReplicaSweep(replicas, selections, rates, experiments.ReplicaConfig{
+		DurationS:   dur,
+		HedgeDelayS: hedge,
+		Seed:        seed,
+		Workers:     workers,
+		Audit:       audit,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(experiments.ReplicaTable(rows), csv))
+	return nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSelectionList(s string) ([]cluster.SelectionPolicy, error) {
+	var out []cluster.SelectionPolicy
+	for _, part := range strings.Split(s, ",") {
+		sel, err := cluster.ParseSelection(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sel)
+	}
+	return out, nil
 }
 
 func parseFloatList(s string) ([]float64, error) {

@@ -12,6 +12,7 @@
 //	joint -twincheck [-quick]
 //	joint -faults [-faultrates 0,0.5,1,2] [-faultdur 5] [-faultseed 1] [-audit] [-fluid]
 //	joint -overload [-overloadmults 0.5,1,2,3] [-overloaddur 2] [-surge step] [-audit] [-fluid]
+//	joint -replicas 1,3 [-selection primary,p2c,hedged] [-hedge 0] [-faultrates 0,1,2] [-audit]
 //
 // The -faults mode skips the Fig 13 evaluation and instead runs the
 // fault-injection availability sweep: seeded switch crashes and link
@@ -20,8 +21,14 @@
 //
 // The -overload mode runs the flash-crowd overload sweep: admission
 // control + load shedding + controller surge response versus the
-// unprotected baseline across offered-load multipliers. -audit enables
-// runtime invariant checks in both modes.
+// unprotected baseline across offered-load multipliers.
+//
+// The -replicas mode runs the replicated search-tier sweep: consistent-
+// hash placement with pod spreading, replica failover, and the selection
+// policies of -selection (primary, p2c, hedged) compared across
+// replication factors and fault rates; -hedge overrides the hedged
+// duplicate delay (0 tracks the observed sub-query p95). -audit enables
+// runtime invariant checks in all three modes.
 //
 // The -twin mode answers closed-form what-if capacity queries on an
 // arbitrary fat-tree arity (default k=74, a 101,306-host fabric) with no
@@ -40,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 
+	"eprons/internal/cluster"
 	"eprons/internal/experiments"
 	"eprons/internal/parallel"
 	"eprons/internal/workload"
@@ -53,6 +61,30 @@ func parseFloats(s string) ([]float64, error) {
 			return nil, err
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSelections(s string) ([]cluster.SelectionPolicy, error) {
+	var out []cluster.SelectionPolicy
+	for _, part := range strings.Split(s, ",") {
+		sel, err := cluster.ParseSelection(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sel)
 	}
 	return out, nil
 }
@@ -72,7 +104,10 @@ func main() {
 	overloadSeed := flag.Int64("overloadseed", 1, "seed for the overload workload streams")
 	surgeShape := flag.String("surge", "step", "flash-crowd profile: step, spike or ramp")
 	surgeResponse := flag.Bool("surgeresponse", true, "let the controller re-expand the fabric on sustained saturation")
-	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, scheduler bookkeeping) after each cell")
+	replicasArg := flag.String("replicas", "", "run the replicated search-tier sweep over these replication factors (e.g. 1,3) and exit; uses -faultrates/-faultdur/-faultseed for the fault axis")
+	selectionArg := flag.String("selection", "primary", "replica selection policies to sweep: primary, p2c and/or hedged (comma separated)")
+	hedgeDelay := flag.Float64("hedge", 0, "hedged-policy duplicate delay in seconds (0 = track the observed sub-query p95)")
+	audit := flag.Bool("audit", false, "run runtime invariant checks (query conservation, offered>=carried bytes, hedge accounting, replica reachability, scheduler bookkeeping) after each cell")
 	fluid := flag.Bool("fluid", false, "hybrid fluid/packet background-traffic engine in -faults/-overload modes (order-of-magnitude fewer events; off = exact packet-level simulation)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(), "training/evaluation concurrency (cells are independently seeded simulations; <=1 runs sequentially, results are identical either way)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,12 +120,12 @@ func main() {
 	flag.Parse()
 
 	if *shards != 1 && *shards != 0 {
-		// The sharded engine requires the no-drop, no-retry query envelope
-		// (see internal/cluster/shard.go); the fault and overload
-		// experiments are defined by violating it, and the planner figures
-		// (Fig 13/15) run no packet simulation at all. Reject rather than
-		// silently ignore.
-		log.Fatal("-shards is only meaningful for the packet-level figure sweeps; use cmd/netsweep -shards or cmd/reproduce -shards")
+		// The sharded engine requires the no-drop, no-retry broadcast
+		// envelope (cluster.ErrShardEnvelope names the offending option);
+		// the fault, overload and replica experiments are defined by
+		// violating it, and the planner figures (Fig 13/15) run no packet
+		// simulation at all. Reject rather than silently ignore.
+		log.Fatal("-shards is only meaningful for the packet-level figure sweeps (timeouts, retries, admission control and replication are outside the sharded cluster envelope); use cmd/netsweep -shards or cmd/reproduce -shards")
 	}
 
 	if *cpuProfile != "" {
@@ -149,6 +184,33 @@ func main() {
 		if sum.NetMaxRel > experiments.TwinNetRelBand || sum.ServerMaxRel > experiments.TwinServerRelBand {
 			log.Fatal("twincheck: in-domain error bands violated")
 		}
+		return
+	}
+
+	if *replicasArg != "" {
+		replicas, err := parseInts(*replicasArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		selections, err := parseSelections(*selectionArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates, err := parseFloats(*faultRates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := experiments.ReplicaSweep(replicas, selections, rates, experiments.ReplicaConfig{
+			DurationS:   *faultDur,
+			HedgeDelayS: *hedgeDelay,
+			Seed:        *faultSeed,
+			Workers:     *workers,
+			Audit:       *audit,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.Render(experiments.ReplicaTable(rows), *csvOut))
 		return
 	}
 

@@ -80,6 +80,27 @@ type Config struct {
 	// itself already waited.
 	RetryDelay float64
 
+	// Replicas enables the replicated data tier: Partitions × Replicas
+	// replica placements by consistent hashing (internal/placement), and a
+	// query touches one replica per partition instead of every host. 0
+	// (the default) keeps the legacy broadcast fan-out bit-identical —
+	// none of the replica machinery runs. See replica.go.
+	Replicas int
+	// Partitions is the number of data partitions (default len(hosts)-1,
+	// matching the broadcast fan-out's sub-query count per query). Only
+	// meaningful with Replicas > 0.
+	Partitions int
+	// HostPods maps host index → failure domain (pod) for replica
+	// spreading: no two replicas of a partition share a pod when Replicas
+	// ≤ distinct pods. Nil treats all hosts as one domain.
+	HostPods []int
+	// Selection picks which replica serves each sub-query (SelPrimary,
+	// SelPowerOfTwo, SelHedged). Only meaningful with Replicas > 0.
+	Selection SelectionPolicy
+	// HedgeDelayS overrides the hedge-trigger delay for SelHedged; 0 (the
+	// default) tracks the p95 of resolved sub-query round trips.
+	HedgeDelayS float64
+
 	// AdmissionControl enables the overload control plane: bounded
 	// per-server queues (server.Config.QueueLimit = the high watermark)
 	// plus watermark-based admission with SLA-aware load shedding at the
@@ -198,6 +219,22 @@ type Stats struct {
 	// many distinct shedding episodes the run saw (hysteresis keeps this
 	// far below QueriesShed under a sustained surge).
 	ShedTransitions int
+	// Replicated-mode counters (Config.Replicas > 0; all zero otherwise).
+	// SubAttempts counts every attempt transmitted (originals, failovers,
+	// retries and hedges), the denominator of the hedge extra-work cost.
+	SubAttempts int
+	// Failovers counts re-sends redirected to a DIFFERENT replica after a
+	// drop or timeout — spent before the query's shared RetryBudget.
+	Failovers int
+	// Hedges counts duplicate attempts launched by SelHedged; HedgeWins
+	// counts sub-queries the duplicate resolved first; HedgeWasted counts
+	// duplicates that terminated without winning (dropped, suppressed at
+	// the server, or late). After the engine drains every hedge has
+	// terminated exactly once: Hedges == HedgeWins + HedgeWasted — the
+	// hedge-accounting identity the audit harness asserts.
+	Hedges      int
+	HedgeWins   int
+	HedgeWasted int
 }
 
 // Orphans returns the number of submitted queries not yet resolved as
@@ -248,6 +285,10 @@ type Cluster struct {
 	// sequential mode, which keeps every sequential code path untouched.
 	sh *clusterSharding
 
+	// repl carries the replicated-mode state (see replica.go); nil with
+	// Replicas == 0, which keeps the broadcast path untouched.
+	repl *replicaState
+
 	// adm is the admission state machine (Config.AdmissionControl); its
 	// zero value with admission disabled is never consulted.
 	adm Admission
@@ -282,6 +323,9 @@ func New(net *netsim.Network, hosts []topology.NodeID, cfg Config) (*Cluster, er
 		return nil, err
 	}
 	c.sh = sh
+	if err := initReplication(c); err != nil {
+		return nil, err
+	}
 	queueLimit := 0
 	if cfg.AdmissionControl {
 		// Bounded per-server queues: the ISN-side backstop is the same
@@ -413,6 +457,11 @@ func (c *Cluster) StatsInto(out *Stats) *Stats {
 	out.QueriesShed = s.QueriesShed
 	out.RejectedSub = s.RejectedSub
 	out.ShedTransitions = s.ShedTransitions
+	out.SubAttempts = s.SubAttempts
+	out.Failovers = s.Failovers
+	out.Hedges = s.Hedges
+	out.HedgeWins = s.HedgeWins
+	out.HedgeWasted = s.HedgeWasted
 	return out
 }
 
@@ -533,6 +582,10 @@ func (c *Cluster) SubmitQuery(sampler func() float64) {
 			c.stats.QueriesShed++
 			return
 		}
+	}
+	if c.repl != nil {
+		c.submitReplicated(aggIdx, sampler)
+		return
 	}
 	q := &query{
 		start:  c.eng.Now(),

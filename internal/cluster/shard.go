@@ -40,11 +40,36 @@ package cluster
 // is untouched.
 
 import (
+	"errors"
 	"fmt"
 
 	"eprons/internal/metrics"
 	"eprons/internal/sim"
 )
+
+// ErrShardEnvelope is wrapped by cluster.New when a configuration asks
+// for features outside the sharded execution envelope: sharded runs
+// require the no-drop, no-retry broadcast fan-out (see the package
+// comment above), so SubQueryTimeout, RetryBudget, AdmissionControl and
+// the replicated data tier (Replicas) are all rejected, each error naming
+// the offending option. Callers test with errors.Is(err, ErrShardEnvelope).
+var ErrShardEnvelope = errors.New("cluster: configuration outside the sharded execution envelope")
+
+// shardEnvelopeConflict names the first configured option the sharded
+// envelope excludes, or "" when the configuration is compatible.
+func shardEnvelopeConflict(cfg Config) string {
+	switch {
+	case cfg.SubQueryTimeout > 0:
+		return "SubQueryTimeout"
+	case cfg.RetryBudget > 0:
+		return "RetryBudget"
+	case cfg.AdmissionControl:
+		return "AdmissionControl"
+	case cfg.Replicas > 0:
+		return "Replicas"
+	}
+	return ""
+}
 
 // tsample is one time-tagged tracker sample recorded in a shard.
 type tsample struct {
@@ -85,8 +110,8 @@ func initSharding(c *Cluster, cfg Config) (*clusterSharding, error) {
 	if se == nil {
 		return nil, nil
 	}
-	if cfg.SubQueryTimeout > 0 || cfg.RetryBudget > 0 || cfg.AdmissionControl {
-		return nil, fmt.Errorf("cluster: sharded execution does not support timeouts, retries or admission control")
+	if opt := shardEnvelopeConflict(cfg); opt != "" {
+		return nil, fmt.Errorf("%w: %s (sharded runs need the no-drop, no-retry broadcast fan-out — drop timeouts, retries, admission control and replication, or run unsharded)", ErrShardEnvelope, opt)
 	}
 	sh := &clusterSharding{
 		se:        se,
@@ -180,6 +205,11 @@ func (c *Cluster) mergeStats(out *Stats) {
 	out.QueriesShed = s.QueriesShed
 	out.RejectedSub = s.RejectedSub
 	out.ShedTransitions = s.ShedTransitions
+	out.SubAttempts = s.SubAttempts
+	out.Failovers = s.Failovers
+	out.Hedges = s.Hedges
+	out.HedgeWins = s.HedgeWins
+	out.HedgeWasted = s.HedgeWasted
 	parts := make([][]tsample, len(sh.cells))
 	pick := func(f func(*shardCell) []tsample, dst *metrics.Tracker) {
 		for i := range sh.cells {

@@ -1,0 +1,101 @@
+package consolidate
+
+// Replica stranding guard for the consolidation planner.
+//
+// When the search tier runs replicated (internal/placement distributes each
+// partition across R replica hosts), a consolidation that powers down the
+// fabric around the last reachable replica of some partition silently turns
+// an energy saving into data loss: every query fans out to all partitions,
+// so one stranded partition fails every query. The planner therefore audits
+// each candidate active set with StrandedPartitions before applying it.
+
+import (
+	"eprons/internal/topology"
+)
+
+// StrandedPartitions reports the partitions that would be stranded by the
+// given active set. parts[p] lists partition p's replica hosts (the
+// cluster's PartitionHosts view, in placement preference order).
+//
+// The check works over host connected components of the active subgraph:
+// hosts with at least one powered incident link are grouped into components
+// by BFS over powered nodes and links, and every component must contain a
+// replica of every partition — an aggregator can live on any attached
+// host, and a sub-query cannot cross between disconnected islands. A
+// partition whose replicas are all detached (no powered uplink) is always
+// stranded. The returned slice is sorted by partition index and nil when
+// the invariant holds.
+func StrandedPartitions(g *topology.Graph, active *topology.ActiveSet, parts [][]topology.NodeID) []int {
+	if len(parts) == 0 {
+		return nil
+	}
+	// Label host connected components with BFS over the powered subgraph.
+	comp := make([]int, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	ncomp := 0
+	queue := make([]topology.NodeID, 0, g.NumNodes())
+	for _, n := range g.Nodes() {
+		if n.Kind != topology.Host || comp[n.ID] >= 0 || !hostAttached(g, active, n.ID) {
+			continue
+		}
+		id := ncomp
+		ncomp++
+		comp[n.ID] = id
+		queue = append(queue[:0], n.ID)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, lid := range g.LinksAt(cur) {
+				if !active.LinkOn(lid) {
+					continue
+				}
+				o := g.Link(lid).Other(cur)
+				if comp[o] >= 0 || !active.NodeOn(o) {
+					continue
+				}
+				comp[o] = id
+				queue = append(queue, o)
+			}
+		}
+	}
+	if ncomp == 0 {
+		// No host is attached at all: every partition is stranded.
+		out := make([]int, len(parts))
+		for p := range parts {
+			out[p] = p
+		}
+		return out
+	}
+	// A partition survives iff every component holds one of its replicas.
+	var stranded []int
+	seen := make([]bool, ncomp)
+	for p, replicas := range parts {
+		for i := range seen {
+			seen[i] = false
+		}
+		covered := 0
+		for _, h := range replicas {
+			if c := comp[h]; c >= 0 && !seen[c] {
+				seen[c] = true
+				covered++
+			}
+		}
+		if covered < ncomp {
+			stranded = append(stranded, p)
+		}
+	}
+	return stranded
+}
+
+// hostAttached reports whether a host has at least one powered uplink whose
+// far end is a powered switch.
+func hostAttached(g *topology.Graph, active *topology.ActiveSet, h topology.NodeID) bool {
+	for _, lid := range g.LinksAt(h) {
+		if active.LinkOn(lid) && active.NodeOn(g.Link(lid).Other(h)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package consolidate
+
+import (
+	"reflect"
+	"testing"
+
+	"eprons/internal/fattree"
+	"eprons/internal/placement"
+	"eprons/internal/topology"
+)
+
+// guardFixture builds a k=4 fat-tree view of partition replica hosts: 15
+// partitions, R replicas, pod spreading — the same shape the cluster hands
+// the controller.
+func guardFixture(t *testing.T, r int) (*fattree.FatTree, [][]topology.NodeID) {
+	t.Helper()
+	ft := tree(t)
+	pods := make([]int, len(ft.Hosts))
+	for i, h := range ft.Hosts {
+		pods[i] = ft.HostPod(h)
+	}
+	pl, err := placement.New(placement.Config{
+		Partitions: len(ft.Hosts) - 1, Replicas: r, Pods: pods, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]topology.NodeID, pl.Partitions())
+	for p := range parts {
+		for _, h := range pl.Replicas(p) {
+			parts[p] = append(parts[p], ft.Hosts[h])
+		}
+	}
+	return ft, parts
+}
+
+func TestStrandedPartitionsFullFabric(t *testing.T) {
+	ft, parts := guardFixture(t, 3)
+	g := ft.Graph
+	if got := StrandedPartitions(g, topology.NewActiveSet(g), parts); got != nil {
+		t.Fatalf("full fabric strands %v", got)
+	}
+}
+
+// Detaching one replica host leaves R=3 partitions covered, but strands
+// every partition under R=1 whose only replica lived there.
+func TestStrandedPartitionsDetachedHost(t *testing.T) {
+	for _, r := range []int{1, 3} {
+		ft, parts := guardFixture(t, r)
+		g := ft.Graph
+		victim := parts[0][0]
+		act := topology.NewActiveSet(g)
+		for _, lid := range g.LinksAt(victim) {
+			act.SetLink(lid, false)
+		}
+		stranded := StrandedPartitions(g, act, parts)
+		if r == 3 {
+			if stranded != nil {
+				t.Fatalf("R=3: one detached host strands %v", stranded)
+			}
+			continue
+		}
+		// R=1: exactly the partitions whose sole replica is the victim.
+		var want []int
+		for p, reps := range parts {
+			if reps[0] == victim {
+				want = append(want, p)
+			}
+		}
+		if len(want) == 0 {
+			t.Fatal("fixture victim holds no partition")
+		}
+		if !reflect.DeepEqual(stranded, want) {
+			t.Fatalf("R=1: stranded %v, want %v", stranded, want)
+		}
+	}
+}
+
+// A fabric split into two islands strands everything the smaller island
+// cannot serve: each component must hold a replica of every partition.
+func TestStrandedPartitionsSplitFabric(t *testing.T) {
+	ft, parts := guardFixture(t, 3)
+	g := ft.Graph
+	// Power only intra-pod connectivity of pod 0: its 4 hosts, their edge
+	// and aggregation switches, with no core uplinks.
+	pod0 := map[topology.NodeID]bool{}
+	for _, h := range ft.Hosts {
+		if ft.HostPod(h) == 0 {
+			pod0[h] = true
+		}
+	}
+	for i := 0; i < ft.Cfg.K/2; i++ {
+		pod0[ft.Edge(0, i)] = true
+		pod0[ft.Agg(0, i)] = true
+	}
+	act := topology.NewEmptyActiveSet(g)
+	for _, l := range g.Links() {
+		if pod0[l.A] && pod0[l.B] {
+			act.SetLink(l.ID, true)
+		}
+	}
+	stranded := StrandedPartitions(g, act, parts)
+	// The only live component is the pod-0 island, so exactly the
+	// partitions with no pod-0 replica are stranded (R=3 spreads across 3
+	// of the 4 pods, so some partitions must miss pod 0).
+	var want []int
+	for p, reps := range parts {
+		inPod0 := false
+		for _, h := range reps {
+			if ft.HostPod(h) == 0 {
+				inPod0 = true
+			}
+		}
+		if !inPod0 {
+			want = append(want, p)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no partition outside pod 0; pick another seed")
+	}
+	if !reflect.DeepEqual(stranded, want) {
+		t.Fatalf("pod-0 island strands %v, want %v", stranded, want)
+	}
+}
+
+// A completely dark fabric strands every partition.
+func TestStrandedPartitionsDarkFabric(t *testing.T) {
+	ft, parts := guardFixture(t, 3)
+	g := ft.Graph
+	stranded := StrandedPartitions(g, topology.NewEmptyActiveSet(g), parts)
+	if len(stranded) != len(parts) {
+		t.Fatalf("dark fabric strands %d, want %d", len(stranded), len(parts))
+	}
+}

@@ -79,9 +79,16 @@ type Controller struct {
 	// fabric back after a surge calmed (see StartSurgeResponse).
 	SurgeExpansions       int
 	SurgeReconsolidations int
+	// StrandedRejects counts optimizer results vetoed by the replica
+	// guard (see SetReplicaGuard); the previous configuration stays, like
+	// any other failed round.
+	StrandedRejects int
 	// LastResult is the most recent applied consolidation.
 	LastResult *consolidate.Result
 	running    bool
+	// replicaParts, when non-nil, holds each partition's replica hosts;
+	// optimizeOnce audits every candidate active set against it.
+	replicaParts [][]topology.NodeID
 	// ratesScratch is the reused flow-rate map for the 2 s stats pull:
 	// FlowRatesInto refills it in place, so the epoch loop stops
 	// allocating a fresh map (plus one entry per flow) every poll.
@@ -115,6 +122,18 @@ func New(eng *sim.Engine, net *netsim.Network, opt Optimizer, flows []flow.Flow,
 
 // Predictor exposes the demand predictor (tests, introspection).
 func (c *Controller) Predictor() *flow.Predictor { return c.predictor }
+
+// SetReplicaGuard arms the replica stranding guard: every optimizer result
+// is audited with consolidate.StrandedPartitions against parts (partition →
+// replica hosts, the cluster's PartitionHosts view) and rejected — keeping
+// the previous configuration — if it would leave any partition with no
+// reachable replica. Pass nil to disarm. The guard makes the consolidation
+// planner replica-aware without teaching the optimizer about placement:
+// a consolidation may save power, but never at the cost of the last
+// reachable replica of a partition.
+func (c *Controller) SetReplicaGuard(parts [][]topology.NodeID) {
+	c.replicaParts = parts
+}
 
 // Start launches the periodic loops and applies an initial optimization
 // immediately using the nominal demands.
@@ -164,6 +183,12 @@ func (c *Controller) optimizeOnce() error {
 	}
 	if res == nil || !res.Feasible {
 		return fmt.Errorf("controller: infeasible consolidation")
+	}
+	if c.replicaParts != nil {
+		if stranded := consolidate.StrandedPartitions(c.net.Graph(), res.Active, c.replicaParts); len(stranded) > 0 {
+			c.StrandedRejects++
+			return fmt.Errorf("controller: consolidation strands partitions %v (no reachable replica)", stranded)
+		}
 	}
 	c.apply(res)
 	return nil

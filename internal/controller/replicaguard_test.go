@@ -1,0 +1,77 @@
+package controller
+
+import (
+	"testing"
+
+	"eprons/internal/consolidate"
+	"eprons/internal/topology"
+)
+
+// With the replica guard armed, a consolidation that detaches the sole
+// replica of a partition is vetoed and the previous configuration stays.
+func TestReplicaGuardVetoesStrandingPlan(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	// The flows touch hosts 0,1,4,5; a greedy consolidation leaves the
+	// rest of the fabric dark. Place a "partition" whose only replica is
+	// host 8 — outside every flow path — so the plan strands it.
+	strandedHost := ft.Hosts[8]
+	parts := [][]topology.NodeID{
+		{ft.Hosts[0], ft.Hosts[4]}, // covered by the flow subnet
+		{strandedHost},
+	}
+
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReplicaGuard(parts)
+	if err := c.Start(); err == nil {
+		t.Fatal("stranding consolidation applied despite the guard")
+	}
+	if c.StrandedRejects != 1 || c.Applied != 0 {
+		t.Fatalf("rejects=%d applied=%d, want 1/0", c.StrandedRejects, c.Applied)
+	}
+	// The rejected plan must not have touched the network: the fabric is
+	// still fully powered.
+	if got, want := net.Active().ActiveSwitches(), ft.NumSwitches(); got != want {
+		t.Fatalf("active switches %d, want %d (plan leaked through)", got, want)
+	}
+
+	// Disarming the guard (or a placement with reachable replicas) lets
+	// the same plan through.
+	c.SetReplicaGuard(nil)
+	if err := c.Reoptimize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Applied != 1 {
+		t.Fatalf("applied=%d after disarm, want 1", c.Applied)
+	}
+}
+
+// A guard over partitions the consolidated subnet already reaches does not
+// interfere with planning.
+func TestReplicaGuardPassesCoveredPlacement(t *testing.T) {
+	eng, net, ft, flows := setup(t)
+	parts := [][]topology.NodeID{
+		{ft.Hosts[0], ft.Hosts[5]},
+		{ft.Hosts[1], ft.Hosts[4]},
+	}
+	c, err := New(eng, net, greedyOpt(ft, 1), flows, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReplicaGuard(parts)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Applied != 1 || c.StrandedRejects != 0 {
+		t.Fatalf("applied=%d rejects=%d, want 1/0", c.Applied, c.StrandedRejects)
+	}
+	res, err := consolidate.Greedy(ft, flows, consolidate.Config{ScaleK: 1, SafetyMarginBps: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := consolidate.StrandedPartitions(ft.Graph, res.Active, parts); got != nil {
+		t.Fatalf("audit reports stranded partitions %v on an accepted plan", got)
+	}
+}

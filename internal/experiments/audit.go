@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"eprons/internal/cluster"
+	"eprons/internal/consolidate"
 	"eprons/internal/netsim"
 	"eprons/internal/sim"
+	"eprons/internal/topology"
 )
 
 // Runtime invariant audit ("-audit" on the CLI harnesses, Audit on the
@@ -24,7 +26,13 @@ import (
 //     nobody offered: OfferedBytes >= CarriedBytes (both cumulative,
 //     unaffected by ResetStats);
 //   - the event engine's cached live count equals a from-scratch recount
-//     of its arena, and heap/arena occupancy agree (sim.AuditInvariants).
+//     of its arena, and heap/arena occupancy agree (sim.AuditInvariants);
+//   - hedge accounting (replicated runs): every launched hedge terminates
+//     as exactly one win or one wasted duplicate, hedges = wins + wasted
+//     after drain;
+//   - last-replica reachability (replicated runs with a consolidation):
+//     the applied active set leaves every partition with a reachable
+//     replica (consolidate.StrandedPartitions returns none).
 
 // auditRun asserts the invariant set for one drained simulation cell.
 // drained should be true after eng.RunAll() — it arms the orphans == 0
@@ -51,12 +59,41 @@ func auditRun(eng *sim.Engine, net *netsim.Network, st *cluster.Stats, drained b
 	if net.OfferedBytes < 0 || net.CarriedBytes < 0 {
 		return fmt.Errorf("audit: negative byte counter (offered %d, carried %d)", net.OfferedBytes, net.CarriedBytes)
 	}
+	// Hedge accounting: wins and waste are terminal states, so they can
+	// never exceed launches, and after a drain every hedge has reached one.
+	if st.Hedges < 0 || st.HedgeWins < 0 || st.HedgeWasted < 0 {
+		return fmt.Errorf("audit: negative hedge counter: hedges %d, wins %d, wasted %d",
+			st.Hedges, st.HedgeWins, st.HedgeWasted)
+	}
+	if st.HedgeWins+st.HedgeWasted > st.Hedges {
+		return fmt.Errorf("audit: hedge terminations %d+%d exceed launches %d",
+			st.HedgeWins, st.HedgeWasted, st.Hedges)
+	}
+	if drained && st.Hedges != st.HedgeWins+st.HedgeWasted {
+		return fmt.Errorf("audit: hedge identity violated after drain: %d launched != %d wins + %d wasted",
+			st.Hedges, st.HedgeWins, st.HedgeWasted)
+	}
 	// Engine bookkeeping.
 	if err := eng.AuditInvariants(); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
 	if drained && eng.Len() != 0 {
 		return fmt.Errorf("audit: %d live events after drain", eng.Len())
+	}
+	return nil
+}
+
+// auditReplicaReachability asserts the planner invariant for replicated
+// runs: the active set the controller applied leaves every partition with
+// at least one reachable replica. parts is the cluster's PartitionHosts
+// view; pass the set actually installed on the network so emergency
+// expansions and transitions are audited as-applied.
+func auditReplicaReachability(net *netsim.Network, parts [][]topology.NodeID) error {
+	if len(parts) == 0 {
+		return nil
+	}
+	if stranded := consolidate.StrandedPartitions(net.Graph(), net.Active(), parts); len(stranded) > 0 {
+		return fmt.Errorf("audit: partitions %v stranded by the active set (no reachable replica)", stranded)
 	}
 	return nil
 }

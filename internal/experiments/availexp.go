@@ -32,12 +32,11 @@ type AvailabilityConfig struct {
 	// ScaleK is the consolidation scale factor (default 1 — the minimal
 	// subnet, the regime where faults bite hardest).
 	ScaleK float64
-	// SubQueryTimeout arms the aggregator retry timer (default 100 ms —
-	// comfortably above the 30 ms SLA, so congestion alone does not trip
-	// it; drops are detected through the simulator's drop notifications
-	// long before the timer fires).
+	// SubQueryTimeout arms the aggregator retry timer. 0 means
+	// DefaultSubQueryTimeoutS; Disabled (negative) disarms the timer.
 	SubQueryTimeout float64
-	// RetryBudget is the per-query sub-query re-send budget (default 8).
+	// RetryBudget is the per-query sub-query re-send budget. 0 means
+	// DefaultRetryBudget; Disabled (negative) turns retries off.
 	RetryBudget int
 	// RepairMeanS is the mean outage duration (default 0.2 s).
 	RepairMeanS float64
@@ -80,12 +79,6 @@ func (c *AvailabilityConfig) fill() {
 	}
 	if c.ScaleK <= 0 {
 		c.ScaleK = 1
-	}
-	if c.SubQueryTimeout <= 0 {
-		c.SubQueryTimeout = 100e-3
-	}
-	if c.RetryBudget <= 0 {
-		c.RetryBudget = 8
 	}
 	if c.RepairMeanS <= 0 {
 		c.RepairMeanS = 0.2
@@ -194,8 +187,8 @@ func availabilityCell(failRate float64, cfg AvailabilityConfig, seed int64) (Ava
 	}
 	clCfg := cluster.DefaultConfig(d, func(host, core int) server.Policy { return dvfs.NewMaxFreq() })
 	clCfg.CoresPerServer = 2
-	clCfg.SubQueryTimeout = cfg.SubQueryTimeout
-	clCfg.RetryBudget = cfg.RetryBudget
+	clCfg.SubQueryTimeout = resolveSubQueryTimeout(cfg.SubQueryTimeout)
+	clCfg.RetryBudget = resolveRetryBudget(cfg.RetryBudget)
 	clCfg.AdmissionControl = cfg.Admission
 	cl, err := cluster.New(net, ft.Hosts, clCfg)
 	if err != nil {

@@ -49,8 +49,9 @@ type OverloadConfig struct {
 	// TTPeriod is the TimeTrader adjustment period (default 1 s; the
 	// paper's 5 s is too slow to react within a short cell).
 	TTPeriod float64
-	// RetryBudget is the per-query sub-query re-send budget (default 4;
-	// bounded-queue rejections ride the retry path).
+	// RetryBudget is the per-query sub-query re-send budget
+	// (bounded-queue rejections ride the retry path). 0 means
+	// DefaultRetryBudget; Disabled (negative) turns retries off.
 	RetryBudget int
 	// HighWM overrides the admission high watermark (default 0 derives
 	// the SLA-aware value from the service distribution).
@@ -89,9 +90,6 @@ func (c *OverloadConfig) fill() {
 	}
 	if c.TTPeriod <= 0 {
 		c.TTPeriod = 1
-	}
-	if c.RetryBudget <= 0 {
-		c.RetryBudget = 4
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -229,7 +227,7 @@ func overloadCell(mult float64, admission bool, cfg OverloadConfig, seed int64) 
 		return tt
 	})
 	clCfg.CoresPerServer = 2
-	clCfg.RetryBudget = cfg.RetryBudget
+	clCfg.RetryBudget = resolveRetryBudget(cfg.RetryBudget)
 	clCfg.AdmissionControl = admission
 	if admission && cfg.HighWM > 0 {
 		clCfg.Admission.HighWM = cfg.HighWM

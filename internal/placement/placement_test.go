@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fatTreePods mimics the k=4 fat-tree host layout: 16 hosts, 4 pods of 4.
+func fatTreePods() []int {
+	pods := make([]int, 16)
+	for i := range pods {
+		pods[i] = i / 4
+	}
+	return pods
+}
+
+func TestPlacementDeterministicAndValid(t *testing.T) {
+	cfg := Config{Partitions: 8, Replicas: 3, Pods: fatTreePods(), Seed: 7}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.replicas, b.replicas) {
+		t.Fatalf("placement not deterministic:\n%v\n%v", a.replicas, b.replicas)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// No two replicas of a partition share a pod when R <= pods (the
+// failure-domain spreading the consolidation planner's last-replica
+// invariant leans on).
+func TestPodSpreading(t *testing.T) {
+	pods := fatTreePods() // 4 pods
+	for _, r := range []int{2, 3, 4} {
+		pl, err := New(Config{Partitions: 32, Replicas: r, Pods: pods, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < pl.Partitions(); p++ {
+			seen := map[int]bool{}
+			for _, h := range pl.Replicas(p) {
+				if seen[pods[h]] {
+					t.Fatalf("R=%d partition %d: replicas %v share pod %d", r, p, pl.Replicas(p), pods[h])
+				}
+				seen[pods[h]] = true
+			}
+		}
+	}
+}
+
+// With more replicas than pods the pod constraint relaxes to distinct
+// hosts — placement must still succeed and stay distinct.
+func TestMoreReplicasThanPods(t *testing.T) {
+	pods := []int{0, 0, 0, 1, 1, 1} // 2 pods, 6 hosts
+	pl, err := New(Config{Partitions: 10, Replicas: 4, Pods: pods, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 10; p++ {
+		if got := len(pl.Replicas(p)); got != 4 {
+			t.Fatalf("partition %d got %d replicas, want 4", p, got)
+		}
+	}
+}
+
+func TestReplicasExceedHostsRejected(t *testing.T) {
+	if _, err := New(Config{Partitions: 1, Replicas: 5, Pods: []int{0, 1}}); err == nil {
+		t.Fatal("R > hosts accepted")
+	}
+}
+
+// Consistent-hash property: removing one host from the membership moves
+// only replicas that lived on that host (plus spreading repairs elsewhere
+// in the same partitions); every partition with no replica on the removed
+// host keeps its replica set bit-identical.
+func TestRebalanceDiffLocalized(t *testing.T) {
+	pods := fatTreePods()
+	base := Config{Partitions: 64, Replicas: 3, Pods: pods, Seed: 11}
+	old, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const removed = 5
+	member := make([]bool, len(pods))
+	for i := range member {
+		member[i] = i != removed
+	}
+	cfg2 := base
+	cfg2.Member = member
+	upd, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := upd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	touched := map[int]bool{}
+	for _, p := range old.HostPartitions(removed) {
+		touched[p] = true
+	}
+	moves, err := Diff(old, upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("removing a replica-bearing host produced no moves")
+	}
+	for _, m := range moves {
+		if !touched[m.Partition] {
+			t.Fatalf("partition %d moved (%+v) without a replica on removed host %d",
+				m.Partition, m, removed)
+		}
+		if m.To == removed {
+			t.Fatalf("move %+v re-targets the removed host", m)
+		}
+	}
+	// Untouched partitions are bit-identical.
+	for p := 0; p < base.Partitions; p++ {
+		if touched[p] {
+			continue
+		}
+		if !reflect.DeepEqual(old.Replicas(p), upd.Replicas(p)) {
+			t.Fatalf("partition %d (no replica on host %d) changed: %v -> %v",
+				p, removed, old.Replicas(p), upd.Replicas(p))
+		}
+	}
+}
+
+// Balance sanity: over many partitions, every member host should hold at
+// least one replica and no host should dominate the assignment.
+func TestPlacementBalance(t *testing.T) {
+	pods := fatTreePods()
+	pl, err := New(Config{Partitions: 256, Replicas: 3, Pods: pods, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(pods))
+	for p := 0; p < pl.Partitions(); p++ {
+		for _, h := range pl.Replicas(p) {
+			counts[h]++
+		}
+	}
+	total := 256 * 3
+	mean := total / len(pods) // 48
+	for h, n := range counts {
+		if n == 0 {
+			t.Fatalf("host %d holds no replicas", h)
+		}
+		if n > 3*mean {
+			t.Fatalf("host %d holds %d replicas (mean %d) — ring badly unbalanced", h, n, mean)
+		}
+	}
+}
+
+func TestDiffAcrossPartitionCountsRejected(t *testing.T) {
+	pods := fatTreePods()
+	a, _ := New(Config{Partitions: 4, Replicas: 2, Pods: pods, Seed: 1})
+	b, _ := New(Config{Partitions: 8, Replicas: 2, Pods: pods, Seed: 1})
+	if _, err := Diff(a, b); err == nil {
+		t.Fatal("diff across partition counts accepted")
+	}
+}
